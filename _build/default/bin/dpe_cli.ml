@@ -1,0 +1,438 @@
+(* kitdpe — command-line front end for the DPE library.
+
+   A log file is plain text: one SQL query per line, empty lines and lines
+   starting with '#' ignored.
+
+     dpe_cli generate --scenario skyserver -n 40 > log.sql
+     dpe_cli profile log.sql
+     dpe_cli select -m access-area log.sql
+     dpe_cli encrypt -m token -p secret log.sql > cipher.sql
+     dpe_cli decrypt -m token -p secret cipher.sql
+     dpe_cli verify -m structure -p secret log.sql
+     dpe_cli mine -m structure --algo clink -k 4 log.sql
+     dpe_cli attack -m token -p secret log.sql *)
+
+module M = Distance.Measure
+open Cmdliner
+
+(* ---- shared readers ---- *)
+
+let read_lines path =
+  let ic = if path = "-" then stdin else open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go acc else go (line :: acc)
+    | exception End_of_file ->
+      if path <> "-" then close_in ic;
+      List.rev acc
+  in
+  go []
+
+let read_log path =
+  List.mapi
+    (fun i line ->
+      match Sqlir.Parser.parse_result line with
+      | Ok q -> q
+      | Error e ->
+        Printf.eprintf "line %d: parse error: %s\n%!" (i + 1) e;
+        exit 2)
+    (read_lines path)
+
+(* ---- common args ---- *)
+
+let log_arg =
+  let doc = "Query log file (one SQL query per line; '-' for stdin)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG" ~doc)
+
+let measure_conv =
+  Arg.conv
+    ( (fun s ->
+        match M.of_string s with
+        | Some m -> Ok m
+        | None -> Error (`Msg ("unknown measure " ^ s))),
+      fun fmt m -> Format.pp_print_string fmt (M.to_string m) )
+
+let measure_arg =
+  let doc = "Distance measure: token, structure, result, access-area, or \
+             the extensions edit and clause." in
+  Arg.(value & opt measure_conv M.Token & info [ "m"; "measure" ] ~docv:"MEASURE" ~doc)
+
+let passphrase_arg =
+  let doc = "Master passphrase for the keyring." in
+  Arg.(value & opt string "kitdpe-demo" & info [ "p"; "passphrase" ] ~docv:"PASS" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic generator seed." in
+  Arg.(value & opt string "cli" & info [ "seed" ] ~doc)
+
+let rows_arg =
+  let doc = "Rows for the generated/derived database (result measure)." in
+  Arg.(value & opt int 150 & info [ "rows" ] ~doc)
+
+let scheme_of m log = Dpe.Selector.select m (Dpe.Log_profile.of_log log)
+
+let encryptor_of m pass log =
+  Dpe.Encryptor.create (Crypto.Keyring.of_passphrase pass) (scheme_of m log)
+
+(* the result measure needs a database: derive one deterministically from
+   the scenario the log's relations point at *)
+let db_for_log ~seed ~rows log =
+  let rels =
+    List.concat_map Sqlir.Ast.relations log |> List.sort_uniq String.compare
+  in
+  if List.exists (fun r -> r = "photoobj" || r = "specobj") rels then
+    Workload.Gen_db.skyserver ~seed ~rows
+  else Workload.Gen_db.retail ~seed ~rows
+
+(* ---- commands ---- *)
+
+let generate scenario n templates seed =
+  let p = { Workload.Gen_query.n; templates; seed;
+            caps = Workload.Gen_query.caps_for_measure M.Result } in
+  let log =
+    match scenario with
+    | "retail" -> Workload.Gen_query.retail_log p
+    | _ -> Workload.Gen_query.skyserver_log p
+  in
+  List.iter (fun q -> print_endline (Sqlir.Printer.to_string q)) log
+
+let generate_cmd =
+  let scenario =
+    Arg.(value & opt string "skyserver"
+         & info [ "scenario" ] ~doc:"skyserver or retail.")
+  in
+  let n = Arg.(value & opt int 40 & info [ "n" ] ~doc:"Number of queries.") in
+  let templates =
+    Arg.(value & opt int 4 & info [ "templates" ] ~doc:"Planted clusters.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic query log.")
+    Term.(const generate $ scenario $ n $ templates $ seed_arg)
+
+let profile path =
+  let log = read_log path in
+  Format.printf "%a" Dpe.Log_profile.pp (Dpe.Log_profile.of_log log)
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Analyze how a log uses each attribute.")
+    Term.(const profile $ log_arg)
+
+let select m path =
+  let log = read_log path in
+  Format.printf "%a" Dpe.Scheme.pp (scheme_of m log)
+
+let select_cmd =
+  Cmd.v
+    (Cmd.info "select"
+       ~doc:"Derive the appropriate DPE scheme (KIT-DPE step 3, Table I).")
+    Term.(const select $ measure_arg $ log_arg)
+
+let encrypt m pass path =
+  let log = read_log path in
+  let enc = encryptor_of m pass log in
+  List.iter
+    (fun q -> print_endline (Sqlir.Printer.to_string (Dpe.Encryptor.encrypt_query enc q)))
+    log
+
+let encrypt_cmd =
+  Cmd.v
+    (Cmd.info "encrypt" ~doc:"Encrypt a log under the measure's DPE scheme.")
+    Term.(const encrypt $ measure_arg $ passphrase_arg $ log_arg)
+
+let decrypt m pass plain_path cipher_path =
+  (* the scheme is derived from the plaintext log's profile, which the key
+     owner has; the ciphertext log comes back from the provider *)
+  let plain_log = read_log plain_path in
+  let cipher_log = read_log cipher_path in
+  let enc = encryptor_of m pass plain_log in
+  List.iter
+    (fun q ->
+      match Dpe.Encryptor.decrypt_query enc q with
+      | Ok q' -> print_endline (Sqlir.Printer.to_string q')
+      | Error e ->
+        Printf.eprintf "decrypt error: %s\n%!" e;
+        exit 3)
+    cipher_log
+
+let decrypt_cmd =
+  let cipher =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CIPHER_LOG"
+           ~doc:"Encrypted log file.")
+  in
+  Cmd.v
+    (Cmd.info "decrypt" ~doc:"Decrypt an encrypted log (key owner).")
+    Term.(const decrypt $ measure_arg $ passphrase_arg $ log_arg $ cipher)
+
+let verify m pass seed rows path =
+  let log = read_log path in
+  let enc = encryptor_of m pass log in
+  let plain_db, cipher_db =
+    if m = M.Result then begin
+      let db = db_for_log ~seed ~rows log in
+      (Some db, Some (Dpe.Db_encryptor.encrypt_database enc db))
+    end
+    else (None, None)
+  in
+  let r = Dpe.Verdict.check_dpe ?plain_db ?cipher_db enc m log in
+  Format.printf "%a@." Dpe.Verdict.pp_report r;
+  exit (if r.Dpe.Verdict.ok then 0 else 1)
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check Definition 1 on a log: encrypt it and compare all \
+             pairwise distances.")
+    Term.(const verify $ measure_arg $ passphrase_arg $ seed_arg $ rows_arg $ log_arg)
+
+let mine m algo k eps seed rows path =
+  let log = read_log path in
+  let ctx =
+    if m = M.Result then M.ctx_with_db (db_for_log ~seed ~rows log)
+    else M.default_ctx
+  in
+  let dm = Dpe.Verdict.distance_matrix ctx m log in
+  let labels =
+    match algo with
+    | "dbscan" -> Mining.Dbscan.run { Mining.Dbscan.eps; min_pts = 3 } dm
+    | "kmedoids" -> Mining.Kmedoids.run { Mining.Kmedoids.k; max_iter = 50 } dm
+    | "outliers" ->
+      Mining.Outlier.run { Mining.Outlier.p = 0.95; d = eps } dm
+      |> Array.map (fun b -> if b then 1 else 0)
+    | _ -> Mining.Hier.cut_k k dm
+  in
+  Array.iteri
+    (fun i l ->
+      Format.printf "%3d %3d  %s@." i l
+        (Sqlir.Printer.to_string (List.nth log i)))
+    labels
+
+let mine_cmd =
+  let algo =
+    Arg.(value & opt string "clink"
+         & info [ "algo" ] ~doc:"dbscan, kmedoids, clink or outliers.")
+  in
+  let k = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Cluster count.") in
+  let eps =
+    Arg.(value & opt float 0.45
+         & info [ "eps" ] ~doc:"DBSCAN radius / outlier distance threshold.")
+  in
+  Cmd.v
+    (Cmd.info "mine"
+       ~doc:"Run distance-based mining over a (plain or encrypted) log.")
+    Term.(const mine $ measure_arg $ algo $ k $ eps $ seed_arg $ rows_arg $ log_arg)
+
+let attack m pass path =
+  let log = read_log path in
+  let scheme = scheme_of m log in
+  let enc = Dpe.Encryptor.create (Crypto.Keyring.of_passphrase pass) scheme in
+  let cipher = Dpe.Encryptor.encrypt_log enc log in
+  let class_of a =
+    Dpe.Scheme.ppe_of_const_class (Dpe.Scheme.class_for_attr scheme a)
+  in
+  let r =
+    Attack.Harness.attack_log
+      ~label:(Printf.sprintf "query-only attack on constants (%s scheme)" (M.to_string m))
+      ~class_of ~plain:log ~cipher
+  in
+  Format.printf "%a" Attack.Harness.pp r;
+  let names = Attack.Harness.attack_names ~label:"query-only attack on names" ~plain:log ~cipher in
+  Format.printf "%a" Attack.Harness.pp names
+
+let attack_cmd =
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Run the query-only attack against the encrypted log and report \
+             constant-recovery rates.")
+    Term.(const attack $ measure_arg $ passphrase_arg $ log_arg)
+
+let cryptdb path =
+  let log = read_log path in
+  let plan = Cryptdb.Planner.replay log in
+  Format.printf "%a" Cryptdb.Planner.pp plan;
+  let profile = Dpe.Log_profile.of_log log in
+  List.iter
+    (fun m ->
+      let cmp =
+        Cryptdb.Baseline.compare_scheme ~profile (Dpe.Selector.select m profile) plan
+      in
+      Format.printf "%a" Cryptdb.Baseline.pp cmp)
+    M.all
+
+let cryptdb_cmd =
+  Cmd.v
+    (Cmd.info "cryptdb"
+       ~doc:"Replay the log against CryptDB onions and compare security.")
+    Term.(const cryptdb $ log_arg)
+
+let normalize cipher_safe path =
+  let log = read_log path in
+  let f =
+    if cipher_safe then Sqlir.Normalizer.normalize_cipher_safe
+    else Sqlir.Normalizer.normalize
+  in
+  List.iter (fun q -> print_endline (Sqlir.Printer.to_string (f q))) log
+
+let normalize_cmd =
+  let cipher_safe =
+    Arg.(value & flag
+         & info [ "cipher-safe" ]
+             ~doc:"Only the rewrites that commute with encryption.")
+  in
+  Cmd.v
+    (Cmd.info "normalize" ~doc:"Canonicalize a query log.")
+    Term.(const normalize $ cipher_safe $ log_arg)
+
+let export_db scenario rows seed encrypted m pass dir =
+  let db =
+    match scenario with
+    | "retail" -> Workload.Gen_db.retail ~seed ~rows
+    | _ -> Workload.Gen_db.skyserver ~seed ~rows
+  in
+  let db =
+    if not encrypted then db
+    else begin
+      (* derive the scheme from a representative log for this scenario *)
+      let log =
+        let p = { Workload.Gen_query.n = 40; templates = 4; seed;
+                  caps = Workload.Gen_query.caps_for_measure m } in
+        match scenario with
+        | "retail" -> Workload.Gen_query.retail_log p
+        | _ -> Workload.Gen_query.skyserver_log p
+      in
+      let enc = encryptor_of m pass log in
+      Dpe.Db_encryptor.encrypt_database enc db
+    end
+  in
+  match Minidb.Csvio.write_database ~dir db with
+  | Ok files ->
+    List.iter (fun f -> Printf.printf "%s/%s\n" dir f) files
+  | Error e ->
+    Printf.eprintf "export failed: %s\n%!" e;
+    exit 4
+
+let export_db_cmd =
+  let scenario =
+    Arg.(value & opt string "skyserver" & info [ "scenario" ] ~doc:"skyserver or retail.")
+  in
+  let encrypted =
+    Arg.(value & flag & info [ "encrypted" ] ~doc:"Export the encrypted database.")
+  in
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Output directory for the CSV files.")
+  in
+  Cmd.v
+    (Cmd.info "export-db"
+       ~doc:"Write a (plain or encrypted) scenario database as CSV files.")
+    Term.(const export_db $ scenario $ rows_arg $ seed_arg $ encrypted
+          $ measure_arg $ passphrase_arg $ dir)
+
+let mine_rules min_support min_confidence path =
+  let log = read_log path in
+  let transactions =
+    List.map
+      (fun q ->
+        Sqlir.Lexer.tokenize (Sqlir.Printer.to_string q)
+        |> List.filter_map (function
+            | Sqlir.Lexer.Kw _ | Sqlir.Lexer.Sym _ -> None
+            | t -> Some (Sqlir.Lexer.token_to_string t))
+        |> List.sort_uniq String.compare)
+      log
+  in
+  let params = { Mining.Apriori.min_support; min_confidence; max_size = 3 } in
+  List.iter
+    (fun r ->
+      Format.printf "{%s} => {%s}  supp %.2f conf %.2f@."
+        (String.concat ", " r.Mining.Apriori.antecedent)
+        (String.concat ", " r.Mining.Apriori.consequent)
+        r.Mining.Apriori.support r.Mining.Apriori.confidence)
+    (Mining.Apriori.rules params transactions)
+
+let rules_cmd =
+  let min_support =
+    Arg.(value & opt float 0.25 & info [ "min-support" ] ~doc:"Support threshold.")
+  in
+  let min_confidence =
+    Arg.(value & opt float 0.8 & info [ "min-confidence" ] ~doc:"Confidence threshold.")
+  in
+  Cmd.v
+    (Cmd.info "rules"
+       ~doc:"Mine association rules over the content tokens of a (plain or \
+             encrypted) log.")
+    Term.(const mine_rules $ min_support $ min_confidence $ log_arg)
+
+let sessions n templates length seed pass =
+  let labelled =
+    Workload.Gen_query.skyserver_sessions
+      { Workload.Gen_query.n; templates; seed;
+        caps = Workload.Gen_query.caps_full }
+      ~length
+  in
+  let plain = List.map snd labelled in
+  let flat = List.concat plain in
+  let scheme = scheme_of M.Structure flat in
+  let enc = Dpe.Encryptor.create (Crypto.Keyring.of_passphrase pass) scheme in
+  let cipher = List.map (List.map (Dpe.Encryptor.encrypt_query enc)) plain in
+  let matrix logs =
+    let arr = Array.of_list (List.map Array.of_list logs) in
+    Mining.Dist_matrix.of_fun (Array.length arr) (fun i j ->
+        Mining.Dtw.normalized ~cost:Distance.D_structure.distance arr.(i) arr.(j))
+  in
+  let dc = matrix cipher in
+  let labels = Mining.Hier.cut_k templates dc in
+  Format.printf "session clustering over ciphertext (DTW + complete link):@.";
+  Array.iteri
+    (fun i l ->
+      Format.printf "  session %2d -> cluster %d (template %d, %d queries)@."
+        i l (fst (List.nth labelled i)) (List.length (List.nth plain i)))
+    labels;
+  let truth = Array.of_list (List.map fst labelled) in
+  Format.printf "ARI vs planted templates: %.3f@."
+    (Mining.Labeling.adjusted_rand_index truth labels)
+
+let sessions_cmd =
+  let n = Arg.(value & opt int 12 & info [ "n" ] ~doc:"Number of sessions.") in
+  let templates =
+    Arg.(value & opt int 3 & info [ "templates" ] ~doc:"Planted user templates.")
+  in
+  let length =
+    Arg.(value & opt int 5 & info [ "length" ] ~doc:"Queries per session (about).")
+  in
+  Cmd.v
+    (Cmd.info "sessions"
+       ~doc:"Demonstrate session-level mining (DTW) over an encrypted log.")
+    Term.(const sessions $ n $ templates $ length $ seed_arg $ passphrase_arg)
+
+let table1 () =
+  let log =
+    List.map Sqlir.Parser.parse
+      [ "SELECT objid, ra FROM photoobj WHERE ra BETWEEN 100 AND 200";
+        "SELECT objid FROM photoobj WHERE class = 'QSO'";
+        "SELECT class, SUM(redshift) FROM photoobj GROUP BY class";
+        "SELECT photoobj.objid, z FROM photoobj JOIN specobj ON photoobj.objid = specobj.objid";
+        "SELECT objid FROM photoobj WHERE magnitude < 20 ORDER BY magnitude LIMIT 10" ]
+  in
+  let profile = Dpe.Log_profile.of_log log in
+  List.iter
+    (fun s ->
+      Format.printf "%s@."
+        (String.concat " | " (Dpe.Selector.table1_row s)))
+    (Dpe.Selector.select_all profile)
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print the derived Table I rows.")
+    Term.(const table1 $ const ())
+
+let main =
+  let doc = "distance-preserving encryption for SQL query logs (KIT-DPE)" in
+  Cmd.group
+    (Cmd.info "dpe_cli" ~version:"1.0.0" ~doc)
+    [ generate_cmd; profile_cmd; select_cmd; encrypt_cmd; decrypt_cmd;
+      verify_cmd; mine_cmd; attack_cmd; cryptdb_cmd; table1_cmd;
+      normalize_cmd; export_db_cmd; rules_cmd; sessions_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/full_pipeline.ml: Array Crypto Distance Dpe Filename Format List Minidb Mining Sqlir Sys Workload

@@ -1,0 +1,1 @@
+examples/outlier_audit.ml: Crypto Distance Dpe Format List Minidb Mining Sqlir String Workload

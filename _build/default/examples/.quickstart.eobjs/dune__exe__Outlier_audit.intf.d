@@ -1,0 +1,1 @@
+examples/outlier_audit.mli:

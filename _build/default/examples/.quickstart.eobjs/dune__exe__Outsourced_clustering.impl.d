@@ -1,0 +1,1 @@
+examples/outsourced_clustering.ml: Array Crypto Distance Dpe Format Hashtbl List Mining Sqlir Workload

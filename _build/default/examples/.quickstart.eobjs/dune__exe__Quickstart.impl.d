@@ -1,0 +1,1 @@
+examples/quickstart.ml: Crypto Distance Dpe Format List Sqlir

@@ -1,0 +1,1 @@
+examples/security_faceoff.ml: Attack Cryptdb Crypto Distance Dpe Format List Printexc Workload

@@ -1,0 +1,1 @@
+lib/attack/attacks.ml: Aux_model Dpe Hashtbl List Minidb Option

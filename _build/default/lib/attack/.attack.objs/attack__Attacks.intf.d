@@ -1,0 +1,1 @@
+lib/attack/attacks.mli: Aux_model Dpe Minidb

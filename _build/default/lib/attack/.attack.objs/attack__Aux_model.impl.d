@@ -1,0 +1,1 @@
+lib/attack/aux_model.ml: Hashtbl List Minidb Option

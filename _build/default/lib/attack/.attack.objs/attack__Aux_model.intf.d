@@ -1,0 +1,1 @@
+lib/attack/aux_model.mli: Minidb

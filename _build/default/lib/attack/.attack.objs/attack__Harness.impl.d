@@ -1,0 +1,1 @@
+lib/attack/harness.ml: Attacks Aux_model Dpe Format Fun Hashtbl List Minidb Option Sqlir String

@@ -1,0 +1,1 @@
+lib/attack/harness.mli: Attacks Dpe Format Minidb Sqlir

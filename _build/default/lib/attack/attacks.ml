@@ -1,0 +1,133 @@
+module Value = Minidb.Value
+
+type outcome = {
+  cells : int;
+  recovered : int;
+  rate : float;
+}
+
+let make_outcome cells recovered =
+  { cells; recovered;
+    rate = (if cells = 0 then 0.0 else float_of_int recovered /. float_of_int cells) }
+
+let score pairs guess_of_cipher =
+  let recovered =
+    List.fold_left
+      (fun acc (plain, cipher) ->
+        match guess_of_cipher cipher with
+        | Some g when Value.equal g plain -> acc + 1
+        | _ -> acc)
+      0 pairs
+  in
+  make_outcome (List.length pairs) recovered
+
+(* ciphertext histogram, descending frequency, deterministic tie-break *)
+let cipher_ranked pairs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (_, c) ->
+      Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+    pairs;
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+  |> List.sort (fun (ca, na) (cb, nb) ->
+         if na <> nb then compare nb na else Value.compare ca cb)
+
+let frequency aux pairs =
+  let cranks = cipher_ranked pairs in
+  let aranks = Aux_model.ranked aux in
+  let mapping = Hashtbl.create 64 in
+  List.iteri
+    (fun i (c, _) ->
+      match List.nth_opt aranks i with
+      | Some (v, _) -> Hashtbl.replace mapping c v
+      | None -> ())
+    cranks;
+  score pairs (Hashtbl.find_opt mapping)
+
+let sorting aux pairs =
+  (* distinct ciphertexts in ascending order with multiplicities *)
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (_, c) ->
+      Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+    pairs;
+  let by_order =
+    Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
+  in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 by_order in
+  let mapping = Hashtbl.create 64 in
+  let _ =
+    List.fold_left
+      (fun seen (c, n) ->
+        let mid = float_of_int seen +. (float_of_int n /. 2.0) in
+        let p = mid /. float_of_int total in
+        (match Aux_model.quantile aux p with
+         | Some v -> Hashtbl.replace mapping c v
+         | None -> ());
+        seen + n)
+      0 by_order
+  in
+  score pairs (Hashtbl.find_opt mapping)
+
+let known_plaintext_ope aux ~anchors pairs =
+  (* anchors sorted by ciphertext; both components must be ordered values *)
+  let anchors =
+    List.sort (fun (_, c1) (_, c2) -> Value.compare c1 c2) anchors
+  in
+  let bounds c =
+    (* the plaintext interval the target ciphertext c is squeezed into *)
+    let rec go lo = function
+      | [] -> (lo, None)
+      | (p, ac) :: rest ->
+        (match Value.compare_sql c ac with
+         | Some 0 -> (Some p, Some p) (* c IS an anchor *)
+         | Some n when n < 0 -> (lo, Some p)
+         | _ -> go (Some p) rest)
+    in
+    go None anchors
+  in
+  let guess c =
+    match bounds c with
+    | Some p, Some p' when Value.equal p p' -> Some p
+    | lo, hi ->
+      (* candidates: auxiliary values strictly inside the sandwich *)
+      let inside v =
+        (match lo with
+         | None -> true
+         | Some l -> (match Value.compare_sql v l with Some n -> n > 0 | None -> false))
+        && (match hi with
+            | None -> true
+            | Some h -> (match Value.compare_sql v h with Some n -> n < 0 | None -> false))
+      in
+      let candidates =
+        List.filter (fun (v, _) -> inside v) (Aux_model.ranked aux)
+      in
+      (match candidates with
+       | [] -> None
+       | (v, _) :: _ -> Some v (* ranked: the most frequent candidate *))
+  in
+  score pairs guess
+
+let mode_guess aux pairs =
+  let guess = Aux_model.mode aux in
+  score pairs (fun _ -> guess)
+
+(* For each class we report the best applicable attack — the standard
+   "best known attack" metric.  Every attack available against a weaker
+   class is also available against a stronger leakage class (a DET
+   adversary can always fall back to mode guessing when frequencies carry
+   no signal), which keeps measured leakage monotone along Fig. 1. *)
+let best outcomes =
+  match outcomes with
+  | [] -> invalid_arg "Attacks.best: no outcomes"
+  | o :: rest ->
+    List.fold_left (fun acc o -> if o.rate > acc.rate then o else acc) o rest
+
+let for_class cls aux pairs =
+  match cls with
+  | Dpe.Taxonomy.PROB | Dpe.Taxonomy.HOM -> mode_guess aux pairs
+  | Dpe.Taxonomy.DET | Dpe.Taxonomy.JOIN ->
+    best [ frequency aux pairs; mode_guess aux pairs ]
+  | Dpe.Taxonomy.OPE | Dpe.Taxonomy.JOIN_OPE ->
+    best [ sorting aux pairs; frequency aux pairs; mode_guess aux pairs ]

@@ -1,0 +1,49 @@
+(** Passive attacks against property-preserving ciphertext collections.
+
+    Each attack receives aligned [(plaintext, ciphertext)] pairs — the
+    plaintexts are the evaluation ground truth, invisible to the attack —
+    plus the adversary's {!Aux_model}.  The output is the fraction of cells
+    whose plaintext the attack recovers, the standard metric for inference
+    attacks on PPE. *)
+
+type outcome = {
+  cells : int;
+  recovered : int;
+  rate : float;
+}
+
+val frequency : Aux_model.t -> (Minidb.Value.t * Minidb.Value.t) list -> outcome
+(** Frequency analysis against DET/JOIN: rank ciphertexts and auxiliary
+    values by frequency and match ranks. *)
+
+val sorting : Aux_model.t -> (Minidb.Value.t * Minidb.Value.t) list -> outcome
+(** Rank/CDF-matching attack against OPE/JOIN-OPE (Naveed-style sorting
+    attack): order ciphertexts and map each to the auxiliary value at the
+    same cumulative position.  Strictly stronger than {!frequency} when the
+    value order carries information. *)
+
+val mode_guess : Aux_model.t -> (Minidb.Value.t * Minidb.Value.t) list -> outcome
+(** Best generic attack against PROB/HOM: ciphertexts are unlinkable, so
+    guess the most frequent auxiliary value for every cell. *)
+
+val known_plaintext_ope :
+  Aux_model.t ->
+  anchors:(Minidb.Value.t * Minidb.Value.t) list ->
+  (Minidb.Value.t * Minidb.Value.t) list ->
+  outcome
+(** The known-plaintext attack of the Sanamrad-Kossmann model against OPE:
+    the adversary holds some [(plaintext, ciphertext)] anchor pairs (e.g.
+    from insider knowledge).  Order-preservation sandwiches every other
+    ciphertext between the plaintexts of its neighbouring anchors; the
+    guess is the most frequent auxiliary value inside that interval (a
+    uniquely-determined interval is certain recovery).  With enough
+    anchors this dominates the ciphertext-only sorting attack. *)
+
+val for_class :
+  Dpe.Taxonomy.ppe_class ->
+  Aux_model.t ->
+  (Minidb.Value.t * Minidb.Value.t) list ->
+  outcome
+(** The best applicable attack for a ciphertext class (attacks against a
+    weaker class remain applicable against a stronger leakage class, so
+    measured leakage is monotone along the Fig. 1 taxonomy). *)

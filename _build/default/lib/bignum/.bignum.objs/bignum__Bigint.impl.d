@@ -1,0 +1,1 @@
+lib/bignum/bigint.ml: Bignat Format Stdlib String

@@ -1,0 +1,81 @@
+(* sign-magnitude over Bignat; zero is always (1, Bignat.zero) so that
+   structural equality behaves *)
+
+type t = { sign : int; mag : Bignat.t }
+
+let normalize sign mag = if Bignat.is_zero mag then { sign = 1; mag } else { sign; mag }
+
+let zero = { sign = 1; mag = Bignat.zero }
+let one = { sign = 1; mag = Bignat.one }
+let minus_one = { sign = -1; mag = Bignat.one }
+
+let of_int n =
+  if n >= 0 then { sign = 1; mag = Bignat.of_int n }
+  else { sign = -1; mag = Bignat.of_int (-n) }
+
+let to_int_opt t =
+  match Bignat.to_int_opt t.mag with
+  | Some m -> Some (t.sign * m)
+  | None -> None
+
+let of_bignat mag = { sign = 1; mag }
+let to_bignat_opt t = if t.sign >= 0 then Some t.mag else None
+
+let of_string s =
+  if String.length s > 0 && s.[0] = '-' then
+    normalize (-1) (Bignat.of_string (String.sub s 1 (String.length s - 1)))
+  else { sign = 1; mag = Bignat.of_string s }
+
+let to_string t =
+  (if t.sign < 0 then "-" else "") ^ Bignat.to_string t.mag
+
+let sign t = if Bignat.is_zero t.mag then 0 else t.sign
+
+let neg t = normalize (- t.sign) t.mag
+let abs t = { t with sign = 1 }
+
+let add a b =
+  if a.sign = b.sign then { sign = a.sign; mag = Bignat.add a.mag b.mag }
+  else begin
+    let c = Bignat.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then normalize a.sign (Bignat.sub a.mag b.mag)
+    else normalize b.sign (Bignat.sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b = normalize (a.sign * b.sign) (Bignat.mul a.mag b.mag)
+
+let divmod a b =
+  let q, r = Bignat.divmod a.mag b.mag in
+  (normalize (a.sign * b.sign) q, normalize a.sign r)
+
+let compare a b =
+  match sign a, sign b with
+  | sa, sb when sa <> sb -> Stdlib.compare sa sb
+  | 1, _ -> Bignat.compare a.mag b.mag
+  | -1, _ -> Bignat.compare b.mag a.mag
+  | _ -> 0
+
+let equal a b = compare a b = 0
+
+let rec egcd a b =
+  if sign b = 0 then (abs a, (if sign a < 0 then minus_one else one), zero)
+  else begin
+    let q, r = divmod a b in
+    let g, x, y = egcd b r in
+    (g, y, sub x (mul q y))
+  end
+
+let mod_inv a m =
+  if sign m <= 0 then invalid_arg "Bigint.mod_inv: modulus must be positive";
+  let g, x, _ = egcd a m in
+  if not (equal g one) then None
+  else begin
+    let _, r = divmod x m in
+    (* bring the truncated remainder into [0, m) *)
+    Some (if sign r < 0 then add r m else r)
+  end
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,47 @@
+(** Arbitrary-precision signed integers, layered over {!Bignat}.
+
+    Rounds out the bignum substrate into a generally usable library
+    (extended Euclid with signed Bézout coefficients, truncated division)
+    — {!Bignat.mod_inv} tracks signs ad hoc internally; this module gives
+    the clean signed story and is tested against it. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+val to_int_opt : t -> int option
+val of_bignat : Bignat.t -> t
+val to_bignat_opt : t -> Bignat.t option
+(** [None] for negative values. *)
+
+val of_string : string -> t
+(** Accepts an optional leading [-]. @raise Invalid_argument otherwise. *)
+
+val to_string : t -> string
+
+val sign : t -> int
+(** -1, 0 or 1. *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division (like OCaml's [/] and [mod]): the remainder carries
+    the dividend's sign. @raise Division_by_zero. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val egcd : t -> t -> t * t * t
+(** [egcd a b = (g, x, y)] with [g = gcd(|a|,|b|) = a*x + b*y], [g >= 0]. *)
+
+val mod_inv : t -> t -> t option
+(** [mod_inv a m] in [[0, m)]; [None] if not coprime. [m > 0] required. *)
+
+val pp : Format.formatter -> t -> unit

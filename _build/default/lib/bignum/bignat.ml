@@ -1,0 +1,563 @@
+(* Little-endian limbs in base 2^26.  The base is chosen so that a product
+   of two limbs plus carries stays below 2^53, well inside OCaml's 63-bit
+   native integers, for every inner loop in this file. *)
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = int array
+(* invariant: normalized — highest limb is non-zero; zero is [||] *)
+
+let zero : t = [||]
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let is_zero a = Array.length a = 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignat.of_int: negative";
+  let rec limbs n = if n = 0 then [] else (n land mask) :: limbs (n lsr limb_bits) in
+  Array.of_list (limbs n)
+
+let one = of_int 1
+let two = of_int 2
+
+let is_one a = Array.length a = 1 && a.(0) = 1
+let is_even a = Array.length a = 0 || a.(0) land 1 = 0
+
+let to_int_opt a =
+  (* max_int has 62 bits; accept up to 62 bits of magnitude *)
+  let n = Array.length a in
+  if n > 3 then None
+  else begin
+    let v = ref 0 and ok = ref true in
+    for i = n - 1 downto 0 do
+      if !v > (max_int - a.(i)) lsr limb_bits then ok := false
+      else v := (!v lsl limb_bits) lor a.(i)
+    done;
+    if !ok then Some !v else None
+  end
+
+let to_int a =
+  match to_int_opt a with
+  | Some v -> v
+  | None -> failwith "Bignat.to_int: overflow"
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 2 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  r.(lr - 1) <- !carry;
+  normalize r
+
+let add_int a n = add a (of_int n)
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Bignat.sub: would be negative";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let mul_schoolbook (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let cur = (ai * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- cur land mask;
+        carry := cur lsr limb_bits
+      done;
+      (* propagate the final carry, which may itself be multi-limb *)
+      let k = ref (i + lb) in
+      while !carry > 0 do
+        let cur = r.(!k) + !carry in
+        r.(!k) <- cur land mask;
+        carry := cur lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let karatsuba_threshold = 32
+
+(* split a at limb k into (low, high) *)
+let split_at (a : t) k =
+  let la = Array.length a in
+  if la <= k then (a, zero)
+  else (normalize (Array.sub a 0 k), normalize (Array.sub a k (la - k)))
+
+let shift_limbs (a : t) k =
+  if is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + k) 0 in
+    Array.blit a 0 r k la;
+    r
+  end
+
+let rec mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la < karatsuba_threshold || lb < karatsuba_threshold then mul_schoolbook a b
+  else begin
+    let k = (max la lb + 1) / 2 in
+    let a0, a1 = split_at a k and b0, b1 = split_at b k in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+    add z0 (add (shift_limbs z1 k) (shift_limbs z2 (2 * k)))
+  end
+
+let mul_int a n = mul a (of_int n)
+
+(* division by a single limb 0 < d < base *)
+let divmod_limb (a : t) (d : int) : t * int =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, !r)
+
+let shift_left (a : t) bits =
+  if bits < 0 then invalid_arg "Bignat.shift_left";
+  if is_zero a || bits = 0 then a
+  else begin
+    let limb_shift = bits / limb_bits and bit_shift = bits mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) lsl bit_shift) lor !carry in
+      r.(i + limb_shift) <- v land mask;
+      carry := v lsr limb_bits
+    done;
+    r.(la + limb_shift) <- !carry;
+    normalize r
+  end
+
+let shift_right (a : t) bits =
+  if bits < 0 then invalid_arg "Bignat.shift_right";
+  if is_zero a || bits = 0 then a
+  else begin
+    let limb_shift = bits / limb_bits and bit_shift = bits mod limb_bits in
+    let la = Array.length a in
+    if limb_shift >= la then zero
+    else begin
+      let lr = la - limb_shift in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+          else (a.(i + limb_shift + 1) lsl (limb_bits - bit_shift)) land mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+let bit_length (a : t) =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let rec msb n acc = if n = 0 then acc else msb (n lsr 1) (acc + 1) in
+    (la - 1) * limb_bits + msb top 0
+  end
+
+let testbit (a : t) i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+(* Knuth Algorithm D. *)
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_limb a b.(0) in
+    (q, of_int r)
+  end
+  else begin
+    (* normalize so that the top limb of the divisor has its high bit set *)
+    let shift = limb_bits - (bit_length b - (Array.length b - 1) * limb_bits) in
+    let u' = shift_left a shift and v = shift_left b shift in
+    let n = Array.length v in
+    let m = Array.length u' - n in
+    let m = if m < 0 then 0 else m in
+    (* u gets one extra high limb *)
+    let u = Array.make (Array.length u' + 1) 0 in
+    Array.blit u' 0 u 0 (Array.length u');
+    let q = Array.make (m + 1) 0 in
+    let vtop = v.(n - 1) and vsnd = v.(n - 2) in
+    for j = m downto 0 do
+      let num = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
+      let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+      let continue = ref true in
+      while !continue do
+        if !qhat >= base || !qhat * vsnd > (!rhat lsl limb_bits) lor u.(j + n - 2)
+        then begin
+          decr qhat;
+          rhat := !rhat + vtop;
+          if !rhat >= base then continue := false
+        end
+        else continue := false
+      done;
+      (* multiply and subtract *)
+      let borrow = ref 0 in
+      for i = 0 to n - 1 do
+        let p = !qhat * v.(i) + !borrow in
+        let d = u.(j + i) - (p land mask) in
+        if d < 0 then begin u.(j + i) <- d + base; borrow := (p lsr limb_bits) + 1 end
+        else begin u.(j + i) <- d; borrow := p lsr limb_bits end
+      done;
+      let d = u.(j + n) - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add divisor back *)
+        u.(j + n) <- d + base;
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u.(j + i) + v.(i) + !carry in
+          u.(j + i) <- s land mask;
+          carry := s lsr limb_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !carry) land mask
+      end
+      else u.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub u 0 n) in
+    (normalize q, shift_right r shift)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let pow b e =
+  if e < 0 then invalid_arg "Bignat.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let mod_add a b m = rem (add a b) m
+
+let mod_sub a b m =
+  let a = rem a m and b = rem b m in
+  if compare a b >= 0 then sub a b else sub (add a m) b
+
+let mod_mul a b m = rem (mul a b) m
+
+let mod_pow b e m =
+  if is_zero m then raise Division_by_zero;
+  if is_one m then zero
+  else begin
+    let result = ref one in
+    let b = ref (rem b m) in
+    let nbits = bit_length e in
+    for i = 0 to nbits - 1 do
+      if testbit e i then result := mod_mul !result !b m;
+      if i < nbits - 1 then b := mod_mul !b !b m
+    done;
+    !result
+  end
+
+(* ---- Montgomery arithmetic (CIOS) ---- *)
+
+type mont = {
+  n_limbs : int array;   (* modulus, exactly k limbs *)
+  k : int;
+  n0_inv_neg : int;      (* -n^{-1} mod base *)
+  r2 : t;                (* R^2 mod n, R = base^k *)
+  n_val : t;
+}
+
+let mont_create n =
+  if is_even n || compare n (of_int 3) < 0 then None
+  else begin
+    let k = Array.length n in
+    (* Newton iteration for the inverse of n.(0) modulo base *)
+    let n0 = n.(0) in
+    let x = ref 1 in
+    for _ = 1 to 6 do
+      x := (!x * (2 - (n0 * !x))) land mask
+    done;
+    assert ((n0 * !x) land mask = 1);
+    let n0_inv_neg = (base - !x) land mask in
+    let r = shift_left one (k * limb_bits) in
+    let r2 = rem (mul r r) n in
+    Some { n_limbs = Array.copy n; k; n0_inv_neg; r2; n_val = n }
+  end
+
+(* t_arr <- montgomery product of a and b (both < n, k limbs, little endian);
+   returns a fresh k-limb array < n *)
+let mont_mul ctx (a : int array) (b : int array) : int array =
+  let k = ctx.k in
+  let n = ctx.n_limbs in
+  let t = Array.make (k + 2) 0 in
+  for i = 0 to k - 1 do
+    let ai = if i < Array.length a then a.(i) else 0 in
+    (* t += ai * b *)
+    let carry = ref 0 in
+    for j = 0 to k - 1 do
+      let bj = if j < Array.length b then b.(j) else 0 in
+      let cur = t.(j) + (ai * bj) + !carry in
+      t.(j) <- cur land mask;
+      carry := cur lsr limb_bits
+    done;
+    let cur = t.(k) + !carry in
+    t.(k) <- cur land mask;
+    t.(k + 1) <- t.(k + 1) + (cur lsr limb_bits);
+    (* m = t0 * n' mod base;  t = (t + m*n) / base *)
+    let m = (t.(0) * ctx.n0_inv_neg) land mask in
+    let cur = t.(0) + (m * n.(0)) in
+    let carry = ref (cur lsr limb_bits) in
+    for j = 1 to k - 1 do
+      let cur = t.(j) + (m * n.(j)) + !carry in
+      t.(j - 1) <- cur land mask;
+      carry := cur lsr limb_bits
+    done;
+    let cur = t.(k) + !carry in
+    t.(k - 1) <- cur land mask;
+    t.(k) <- t.(k + 1) + (cur lsr limb_bits);
+    t.(k + 1) <- 0
+  done;
+  let result = normalize (Array.sub t 0 (k + 1)) in
+  if compare result ctx.n_val >= 0 then sub result ctx.n_val else result
+
+let mont_pow ctx b e =
+  let b = rem b ctx.n_val in
+  (* to Montgomery form: b * R mod n = mont_mul b r2 *)
+  let b_m = ref (mont_mul ctx b ctx.r2) in
+  (* 1 in Montgomery form: R mod n = mont_mul 1 r2 *)
+  let acc = ref (mont_mul ctx one ctx.r2) in
+  let nbits = bit_length e in
+  for i = 0 to nbits - 1 do
+    if testbit e i then acc := mont_mul ctx !acc !b_m;
+    if i < nbits - 1 then b_m := mont_mul ctx !b_m !b_m
+  done;
+  (* back from Montgomery form: multiply by 1 *)
+  mont_mul ctx !acc one
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+let lcm a b =
+  if is_zero a || is_zero b then zero else mul (div a (gcd a b)) b
+
+(* extended Euclid on naturals, tracking signs of the Bezout coefficient
+   for [a] explicitly to avoid needing a signed type here *)
+let mod_inv a m =
+  if is_zero m then invalid_arg "Bignat.mod_inv: zero modulus";
+  let a = rem a m in
+  (* invariants: r0 = x0*a (mod m) with sign s0, similarly r1 *)
+  let rec go r0 x0 s0 r1 x1 s1 =
+    if is_zero r1 then
+      if is_one r0 then
+        let x = rem x0 m in
+        Some (if s0 >= 0 || is_zero x then x else sub m x)
+      else None
+    else begin
+      let q, r2 = divmod r0 r1 in
+      (* x2 = x0 - q*x1 with signs *)
+      let qx1 = mul q x1 in
+      let x2, s2 =
+        if s0 = s1 then
+          if compare x0 qx1 >= 0 then (sub x0 qx1, s0) else (sub qx1 x0, -s0)
+        else (add x0 qx1, s0)
+      in
+      go r1 x1 s1 r2 x2 s2
+    end
+  in
+  if is_zero a then (if is_one m then Some zero else None)
+  else go m zero 1 a one 1
+
+(* ---- conversions ---- *)
+
+let chunk_pow = 10_000_000 (* 10^7 < 2^26 *)
+let chunk_digits = 7
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bignat.of_string: empty";
+  String.iter
+    (fun c -> if c < '0' || c > '9' then invalid_arg "Bignat.of_string: not a digit")
+    s;
+  let acc = ref zero in
+  let i = ref 0 in
+  while !i < len do
+    let take = min chunk_digits (len - !i) in
+    let chunk = int_of_string (String.sub s !i take) in
+    let scale = int_of_float (10. ** float_of_int take) in
+    acc := add (mul_int !acc scale) (of_int chunk);
+    i := !i + take
+  done;
+  !acc
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go a acc =
+      if is_zero a then acc
+      else begin
+        let q, r = divmod_limb a chunk_pow in
+        go q (r :: acc)
+      end
+    in
+    match go a [] with
+    | [] -> assert false
+    | first :: rest ->
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%0*d" chunk_digits c)) rest;
+      Buffer.contents buf
+  end
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be a =
+  let nbytes = (bit_length a + 7) / 8 in
+  let buf = Bytes.create nbytes in
+  let a = ref a in
+  for i = nbytes - 1 downto 0 do
+    Bytes.set buf i (Char.chr (match !a with [||] -> 0 | l -> l.(0) land 0xff));
+    a := shift_right !a 8
+  done;
+  Bytes.to_string buf
+
+let to_bytes_be_pad len a =
+  let raw = to_bytes_be a in
+  let n = String.length raw in
+  if n > len then invalid_arg "Bignat.to_bytes_be_pad: too large";
+  String.make (len - n) '\000' ^ raw
+
+(* ---- randomness / primality ---- *)
+
+let random_bits rng nbits =
+  if nbits < 0 then invalid_arg "Bignat.random_bits";
+  if nbits = 0 then zero
+  else begin
+    let nbytes = (nbits + 7) / 8 in
+    let v = of_bytes_be (rng nbytes) in
+    (* drop the excess high bits so the result is uniform in [0, 2^nbits) *)
+    let excess = nbytes * 8 - nbits in
+    if excess = 0 then v
+    else
+      let m = shift_left one nbits in
+      rem v m
+  end
+
+let random_below rng bound =
+  if is_zero bound then invalid_arg "Bignat.random_below: zero bound";
+  let nbits = bit_length bound in
+  let rec draw attempts =
+    if attempts > 10_000 then rem (random_bits rng (nbits * 2)) bound
+    else begin
+      let v = random_bits rng nbits in
+      if compare v bound < 0 then v else draw (attempts + 1)
+    end
+  in
+  draw 0
+
+let small_primes =
+  [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67;
+    71; 73; 79; 83; 89; 97; 101; 103; 107; 109; 113; 127; 131; 137; 139; 149;
+    151; 157; 163; 167; 173; 179; 181; 191; 193; 197; 199; 211; 223; 227; 229 ]
+
+let is_probable_prime ?(rounds = 24) rng n =
+  if compare n two < 0 then false
+  else if List.exists (fun p -> equal n (of_int p)) small_primes then true
+  else if is_even n then false
+  else if
+    List.exists
+      (fun p -> let _, r = divmod_limb n p in r = 0)
+      small_primes
+  then false
+  else begin
+    (* write n-1 = d * 2^s *)
+    let n1 = sub n one in
+    let rec strip d s = if is_even d then strip (shift_right d 1) (s + 1) else (d, s) in
+    let d, s = strip n1 0 in
+    let witness a =
+      let x = ref (mod_pow a d n) in
+      if is_one !x || equal !x n1 then false
+      else begin
+        let composite = ref true in
+        (try
+           for _ = 1 to s - 1 do
+             x := mod_mul !x !x n;
+             if equal !x n1 then begin composite := false; raise Exit end
+           done
+         with Exit -> ());
+        !composite
+      end
+    in
+    let rec go i =
+      if i = rounds then true
+      else begin
+        let a = add (random_below rng (sub n (of_int 3))) two in
+        if witness a then false else go (i + 1)
+      end
+    in
+    go 0
+  end
+
+let generate_prime ?(rounds = 24) rng nbits =
+  if nbits < 2 then invalid_arg "Bignat.generate_prime: need >= 2 bits";
+  let rec go () =
+    let c = random_bits rng nbits in
+    (* force top bit and oddness *)
+    let c = rem c (shift_left one (nbits - 1)) in
+    let c = add (shift_left one (nbits - 1)) c in
+    let c = if is_even c then add c one else c in
+    if bit_length c = nbits && is_probable_prime ~rounds rng c then c else go ()
+  in
+  go ()
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

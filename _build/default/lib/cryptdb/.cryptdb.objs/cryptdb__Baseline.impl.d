@@ -1,0 +1,1 @@
+lib/cryptdb/baseline.ml: Distance Dpe Format List Planner

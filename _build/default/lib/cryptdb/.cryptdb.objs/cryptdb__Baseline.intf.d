@@ -1,0 +1,1 @@
+lib/cryptdb/baseline.mli: Distance Dpe Format Planner

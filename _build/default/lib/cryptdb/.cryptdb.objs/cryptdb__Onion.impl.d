@@ -1,0 +1,1 @@
+lib/cryptdb/onion.ml: Dpe List Printf

@@ -1,0 +1,1 @@
+lib/cryptdb/onion.mli: Dpe

@@ -1,0 +1,1 @@
+lib/cryptdb/planner.ml: Dpe Format Hashtbl List Onion Option Printf Sqlir String

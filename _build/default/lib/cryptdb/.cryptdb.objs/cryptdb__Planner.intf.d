@@ -1,0 +1,1 @@
+lib/cryptdb/planner.mli: Dpe Format Onion Sqlir

@@ -1,0 +1,61 @@
+type row = {
+  attr : string;
+  kitdpe : Dpe.Taxonomy.ppe_class;
+  cryptdb : Dpe.Taxonomy.ppe_class;
+  advantage : int;
+}
+
+type comparison = {
+  measure : Distance.Measure.t;
+  rows : row list;
+  strictly_better : int;
+  equal : int;
+  worse : int;
+}
+
+let compare_scheme ?profile (scheme : Dpe.Scheme.t) (plan : Planner.plan) =
+  let attrs = List.map fst plan.Planner.columns in
+  let shares_db_content =
+    Distance.Measure.needs_db_content scheme.Dpe.Scheme.measure
+  in
+  let has_encrypted_material attr =
+    match profile with
+    | None -> true
+    | Some p ->
+      shares_db_content
+      ||
+      let u = Dpe.Log_profile.usage_of p attr in
+      u.Dpe.Log_profile.int_consts || u.Dpe.Log_profile.float_consts
+      || u.Dpe.Log_profile.string_consts
+  in
+  let rows =
+    List.map
+      (fun attr ->
+        let kitdpe =
+          if has_encrypted_material attr then
+            Dpe.Scheme.ppe_of_const_class (Dpe.Scheme.class_for_attr scheme attr)
+          else Dpe.Taxonomy.PROB
+        in
+        let cryptdb = Planner.exposed plan attr in
+        { attr; kitdpe; cryptdb;
+          advantage =
+            Dpe.Taxonomy.security_level kitdpe - Dpe.Taxonomy.security_level cryptdb })
+      attrs
+  in
+  { measure = scheme.Dpe.Scheme.measure;
+    rows;
+    strictly_better = List.length (List.filter (fun r -> r.advantage > 0) rows);
+    equal = List.length (List.filter (fun r -> r.advantage = 0) rows);
+    worse = List.length (List.filter (fun r -> r.advantage < 0) rows) }
+
+let pp fmt c =
+  Format.fprintf fmt
+    "measure %s vs CryptDB: better on %d attribute(s), equal on %d, worse on %d@."
+    (Distance.Measure.to_string c.measure) c.strictly_better c.equal c.worse;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %-14s KIT-DPE=%-8s CryptDB=%-8s %s@." r.attr
+        (Dpe.Taxonomy.to_string r.kitdpe)
+        (Dpe.Taxonomy.to_string r.cryptdb)
+        (if r.advantage > 0 then "(+)" else if r.advantage < 0 then "(-)" else ""))
+    c.rows

@@ -1,0 +1,31 @@
+(** Security comparison of a KIT-DPE scheme against the CryptDB steady
+    state for the same log — the paper's claim in §IV-C/§V that per-measure
+    schemes "give way to higher security" than an execution-oriented system
+    like CryptDB. *)
+
+type row = {
+  attr : string;
+  kitdpe : Dpe.Taxonomy.ppe_class;   (** constants/content class under the scheme *)
+  cryptdb : Dpe.Taxonomy.ppe_class;  (** exposed onion layer after replay *)
+  advantage : int;
+      (** KIT-DPE security level minus CryptDB's; positive = more secure *)
+}
+
+type comparison = {
+  measure : Distance.Measure.t;
+  rows : row list;
+  strictly_better : int;
+  equal : int;
+  worse : int;
+}
+
+val compare_scheme :
+  ?profile:Dpe.Log_profile.t -> Dpe.Scheme.t -> Planner.plan -> comparison
+(** When [profile] is given, the KIT-DPE side reports {e effective}
+    exposure: an attribute whose constants never appear in the log leaks
+    nothing under a log-only measure (token, structure, access-area), so it
+    counts as PROB regardless of the scheme's constant class.  Result
+    distance shares database content, so there the scheme class always
+    applies. *)
+
+val pp : Format.formatter -> comparison -> unit

@@ -1,0 +1,65 @@
+type eq_layer = Eq_rnd | Eq_det | Eq_join
+type ord_layer = Ord_rnd | Ord_ope | Ord_ope_join
+
+type column = {
+  name : string;
+  eq : eq_layer;
+  ord : ord_layer;
+  add_exposed : bool;
+}
+
+let fresh name = { name; eq = Eq_rnd; ord = Ord_rnd; add_exposed = false }
+
+let peel_eq ~cross_column c =
+  let eq =
+    match c.eq, cross_column with
+    | Eq_join, _ | _, true -> Eq_join
+    | (Eq_rnd | Eq_det), false -> Eq_det
+  in
+  { c with eq }
+
+let peel_ord ~cross_column c =
+  let ord =
+    match c.ord, cross_column with
+    | Ord_ope_join, _ | _, true -> Ord_ope_join
+    | (Ord_rnd | Ord_ope), false -> Ord_ope
+  in
+  { c with ord }
+
+let expose_add c = { c with add_exposed = true }
+
+let exposed_class c =
+  (* pick the lowest security level among the exposed layers *)
+  let classes =
+    (match c.eq with
+     | Eq_rnd -> [ Dpe.Taxonomy.PROB ]
+     | Eq_det -> [ Dpe.Taxonomy.DET ]
+     | Eq_join -> [ Dpe.Taxonomy.JOIN ])
+    @ (match c.ord with
+       | Ord_rnd -> []
+       | Ord_ope -> [ Dpe.Taxonomy.OPE ]
+       | Ord_ope_join -> [ Dpe.Taxonomy.JOIN_OPE ])
+    @ (if c.add_exposed then [ Dpe.Taxonomy.HOM ] else [])
+  in
+  (* ties resolve toward the more specific later entry, so an exposed HOM
+     onion reports HOM rather than the equal-row PROB *)
+  List.fold_left
+    (fun worst cls ->
+      if Dpe.Taxonomy.security_level cls <= Dpe.Taxonomy.security_level worst then cls
+      else worst)
+    Dpe.Taxonomy.PROB classes
+
+let eq_layer_to_string = function
+  | Eq_rnd -> "RND"
+  | Eq_det -> "DET"
+  | Eq_join -> "JOIN"
+
+let ord_layer_to_string = function
+  | Ord_rnd -> "RND"
+  | Ord_ope -> "OPE"
+  | Ord_ope_join -> "OPE-JOIN"
+
+let to_string c =
+  Printf.sprintf "%s[eq=%s ord=%s%s]" c.name (eq_layer_to_string c.eq)
+    (ord_layer_to_string c.ord)
+    (if c.add_exposed then " add=HOM" else "")

@@ -1,0 +1,34 @@
+(** CryptDB-style onion encryption state [8].
+
+    Each column carries up to three onions; every onion is a stack of
+    layers with a semantically-secure (RND) layer outermost.  Executing a
+    query that needs equality/order/aggregation {e peels} the respective
+    onion down to DET/JOIN, OPE/OPE-JOIN or exposes the HOM onion — and
+    peeling is irreversible, which is exactly why CryptDB's steady state is
+    no more secure than the operations the whole workload ever needed. *)
+
+type eq_layer = Eq_rnd | Eq_det | Eq_join
+type ord_layer = Ord_rnd | Ord_ope | Ord_ope_join
+
+type column = {
+  name : string;
+  eq : eq_layer;
+  ord : ord_layer;
+  add_exposed : bool;  (** HOM onion in use *)
+}
+
+val fresh : string -> column
+(** Both onions at RND, HOM unused — the state before any query ran. *)
+
+val peel_eq : cross_column:bool -> column -> column
+val peel_ord : cross_column:bool -> column -> column
+val expose_add : column -> column
+(** All three are monotone: they never re-wrap a peeled layer. *)
+
+val exposed_class : column -> Dpe.Taxonomy.ppe_class
+(** The weakest (most leaking) class visible across the column's onions —
+    what a passive adversary gets to attack. *)
+
+val eq_layer_to_string : eq_layer -> string
+val ord_layer_to_string : ord_layer -> string
+val to_string : column -> string

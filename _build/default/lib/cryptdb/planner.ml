@@ -1,0 +1,129 @@
+module Ast = Sqlir.Ast
+
+type event = {
+  query_index : int;
+  column : string;
+  action : string;
+}
+
+type plan = {
+  columns : (string * Onion.column) list;
+  trace : event list;
+}
+
+type state = {
+  tbl : (string, Onion.column) Hashtbl.t;
+  mutable events : event list;
+}
+
+let get st name =
+  match Hashtbl.find_opt st.tbl name with
+  | Some c -> c
+  | None ->
+    let c = Onion.fresh name in
+    Hashtbl.add st.tbl name c;
+    c
+
+let set st ~qi before after reason =
+  if before <> after then begin
+    Hashtbl.replace st.tbl after.Onion.name after;
+    st.events <-
+      { query_index = qi; column = after.Onion.name; action = reason } :: st.events
+  end
+
+let key (a : Ast.attr) = a.Ast.name
+
+let need_eq st ~qi ~cross a =
+  let c = get st (key a) in
+  let c' = Onion.peel_eq ~cross_column:cross c in
+  set st ~qi c c'
+    (Printf.sprintf "Eq onion %s -> %s"
+       (Onion.eq_layer_to_string c.Onion.eq)
+       (Onion.eq_layer_to_string c'.Onion.eq))
+
+let need_ord st ~qi ~cross a =
+  let c = get st (key a) in
+  let c' = Onion.peel_ord ~cross_column:cross c in
+  set st ~qi c c'
+    (Printf.sprintf "Ord onion %s -> %s"
+       (Onion.ord_layer_to_string c.Onion.ord)
+       (Onion.ord_layer_to_string c'.Onion.ord))
+
+let need_add st ~qi a =
+  let c = get st (key a) in
+  let c' = Onion.expose_add c in
+  set st ~qi c c' "Add onion exposed (HOM)"
+
+let rec walk_pred st ~qi p =
+  match p with
+  | Ast.Cmp (c, a, _) ->
+    (match c with
+     | Ast.Eq | Ast.Neq -> need_eq st ~qi ~cross:false a
+     | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> need_ord st ~qi ~cross:false a)
+  | Ast.Cmp_attrs (c, a, b) ->
+    (match c with
+     | Ast.Eq | Ast.Neq ->
+       need_eq st ~qi ~cross:true a;
+       need_eq st ~qi ~cross:true b
+     | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+       need_ord st ~qi ~cross:true a;
+       need_ord st ~qi ~cross:true b)
+  | Ast.Between (a, _, _) -> need_ord st ~qi ~cross:false a
+  | Ast.In_list (a, _) -> need_eq st ~qi ~cross:false a
+  | Ast.Like (a, _) ->
+    (* CryptDB's SEARCH onion degrades to DET-level word equality here *)
+    need_eq st ~qi ~cross:false a
+  | Ast.Is_null _ | Ast.Is_not_null _ -> ()
+  | Ast.Cmp_agg (_, fn, arg, _) ->
+    (match fn, arg with
+     | Ast.Count, _ -> ()
+     | (Ast.Sum | Ast.Avg), Some a -> need_add st ~qi a
+     | (Ast.Min | Ast.Max), Some a -> need_ord st ~qi ~cross:false a
+     | _, None -> ())
+  | Ast.And (l, r) | Ast.Or (l, r) ->
+    walk_pred st ~qi l;
+    walk_pred st ~qi r
+  | Ast.Not p -> walk_pred st ~qi p
+
+let walk_query st ~qi (q : Ast.query) =
+  List.iter
+    (function
+      | Ast.Star -> ()
+      | Ast.Sel_attr _ -> ()  (* projection runs on any layer *)
+      | Ast.Sel_agg (fn, arg, _) ->
+        (match fn, arg with
+         | Ast.Count, _ -> ()
+         | (Ast.Sum | Ast.Avg), Some a -> need_add st ~qi a
+         | (Ast.Min | Ast.Max), Some a -> need_ord st ~qi ~cross:false a
+         | _, None -> ()))
+    q.Ast.select;
+  List.iter
+    (fun (j : Ast.join) ->
+      need_eq st ~qi ~cross:true j.Ast.jleft;
+      need_eq st ~qi ~cross:true j.Ast.jright)
+    q.Ast.joins;
+  Option.iter (walk_pred st ~qi) q.Ast.where;
+  List.iter (fun a -> need_eq st ~qi ~cross:false a) q.Ast.group_by;
+  Option.iter (walk_pred st ~qi) q.Ast.having;
+  List.iter (fun (a, _) -> need_ord st ~qi ~cross:false a) q.Ast.order_by
+
+let replay log =
+  let st = { tbl = Hashtbl.create 32; events = [] } in
+  List.iteri (fun qi q -> walk_query st ~qi q) log;
+  let columns =
+    Hashtbl.fold (fun name c acc -> (name, c) :: acc) st.tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { columns; trace = List.rev st.events }
+
+let exposed plan name =
+  match List.assoc_opt name plan.columns with
+  | Some c -> Onion.exposed_class c
+  | None -> Dpe.Taxonomy.PROB
+
+let pp fmt plan =
+  Format.fprintf fmt "CryptDB steady state after %d adjustments:@."
+    (List.length plan.trace);
+  List.iter
+    (fun (_, c) -> Format.fprintf fmt "  %s@." (Onion.to_string c))
+    plan.columns

@@ -1,0 +1,22 @@
+(** The CryptDB adjustment loop: replay a query log and peel onion layers
+    as each query demands, recording the trace. *)
+
+type event = {
+  query_index : int;
+  column : string;
+  action : string;  (** e.g. "Eq onion RND -> DET" *)
+}
+
+type plan = {
+  columns : (string * Onion.column) list;  (** final steady state *)
+  trace : event list;                      (** adjustments in replay order *)
+}
+
+val replay : Sqlir.Ast.query list -> plan
+(** Columns are keyed by unqualified attribute name, matching
+    {!Dpe.Log_profile}. *)
+
+val exposed : plan -> string -> Dpe.Taxonomy.ppe_class
+(** Steady-state leakage class of a column; PROB for untouched columns. *)
+
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,1 @@
+lib/crypto/block_modes.ml: Aes128 Buffer Bytes Char String

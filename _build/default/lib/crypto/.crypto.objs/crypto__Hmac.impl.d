@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Buffer Char Sha256 String

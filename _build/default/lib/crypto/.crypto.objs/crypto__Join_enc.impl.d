@@ -1,0 +1,1 @@
+lib/crypto/join_enc.ml: Det List Ope String

@@ -1,0 +1,1 @@
+lib/crypto/join_enc.mli: Det Ope

@@ -1,0 +1,1 @@
+lib/crypto/keyring.ml: Det Drbg Hmac Join_enc Ope Prob Sha256

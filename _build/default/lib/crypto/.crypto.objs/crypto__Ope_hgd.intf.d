@@ -1,0 +1,1 @@
+lib/crypto/ope_hgd.mli:

@@ -1,0 +1,1 @@
+lib/crypto/prob.ml: Aes128 Block_modes Char Drbg Hmac String

@@ -1,0 +1,41 @@
+let incr_counter block =
+  let b = Bytes.of_string block in
+  let rec bump i =
+    if i >= 8 then begin
+      let v = (Char.code (Bytes.get b i) + 1) land 0xff in
+      Bytes.set b i (Char.chr v);
+      if v = 0 then bump (i - 1)
+    end
+  in
+  bump 15;
+  Bytes.to_string b
+
+let ctr_transform key ~iv data =
+  if String.length iv <> 16 then invalid_arg "Block_modes.ctr_transform: iv";
+  let n = String.length data in
+  let out = Bytes.create n in
+  let counter = ref iv in
+  let i = ref 0 in
+  while !i < n do
+    let ks = Aes128.encrypt_block key !counter in
+    let len = min 16 (n - !i) in
+    for j = 0 to len - 1 do
+      Bytes.set out (!i + j)
+        (Char.chr (Char.code data.[!i + j] lxor Char.code ks.[j]))
+    done;
+    counter := incr_counter !counter;
+    i := !i + 16
+  done;
+  Bytes.to_string out
+
+let map_blocks f key data =
+  let n = String.length data in
+  if n mod 16 <> 0 then invalid_arg "Block_modes: data not block-aligned";
+  let buf = Buffer.create n in
+  for i = 0 to (n / 16) - 1 do
+    Buffer.add_string buf (f key (String.sub data (i * 16) 16))
+  done;
+  Buffer.contents buf
+
+let ecb_encrypt key data = map_blocks Aes128.encrypt_block key data
+let ecb_decrypt key data = map_blocks Aes128.decrypt_block key data

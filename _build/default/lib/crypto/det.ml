@@ -1,0 +1,22 @@
+type key = { siv : string; enc : Aes128.key }
+
+let key_of_master ~master ~purpose =
+  let raw = Hmac.derive ~master ~purpose:("det/" ^ purpose) 48 in
+  { siv = String.sub raw 0 32; enc = Aes128.expand (String.sub raw 32 16) }
+
+let siv_of k msg = String.sub (Hmac.hmac_sha256 ~key:k.siv msg) 0 16
+
+let encrypt k msg =
+  let iv = siv_of k msg in
+  iv ^ Block_modes.ctr_transform k.enc ~iv msg
+
+let decrypt k ct =
+  let n = String.length ct in
+  if n < 16 then None
+  else begin
+    let iv = String.sub ct 0 16 in
+    let msg = Block_modes.ctr_transform k.enc ~iv (String.sub ct 16 (n - 16)) in
+    if String.equal (siv_of k msg) iv then Some msg else None
+  end
+
+let token = siv_of

@@ -1,0 +1,21 @@
+(** Deterministic encryption (the paper's DET class).
+
+    SIV-style construction: the IV is a PRF of the plaintext, so equal
+    plaintexts map to equal ciphertexts — exactly the equality leakage that
+    token equivalence (Table I) requires — and nothing beyond equality is
+    revealed under a query-only attack. *)
+
+type key
+
+val key_of_master : master:string -> purpose:string -> key
+
+val encrypt : key -> string -> string
+(** Layout: SIV (16) ‖ CT (|msg|).  Deterministic. *)
+
+val decrypt : key -> string -> string option
+(** [None] if the ciphertext is malformed or its SIV does not re-verify. *)
+
+val token : key -> string -> string
+(** [token k msg] is the 16-byte SIV alone — a deterministic, equality-
+    testable pseudonym.  Used where only the pseudonym is needed (e.g.
+    relation names inside query text). *)

@@ -1,0 +1,50 @@
+type t = {
+  mutable key : string;  (* K, 32 bytes *)
+  mutable v : string;    (* V, 32 bytes *)
+}
+
+let update t provided =
+  t.key <- Hmac.hmac_sha256 ~key:t.key (t.v ^ "\x00" ^ provided);
+  t.v <- Hmac.hmac_sha256 ~key:t.key t.v;
+  if provided <> "" then begin
+    t.key <- Hmac.hmac_sha256 ~key:t.key (t.v ^ "\x01" ^ provided);
+    t.v <- Hmac.hmac_sha256 ~key:t.key t.v
+  end
+
+let create ~seed =
+  let t = { key = String.make 32 '\000'; v = String.make 32 '\001' } in
+  update t seed;
+  t
+
+let generate t n =
+  if n < 0 then invalid_arg "Drbg.generate";
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- Hmac.hmac_sha256 ~key:t.key t.v;
+    Buffer.add_string buf t.v
+  done;
+  update t "";
+  String.sub (Buffer.contents buf) 0 n
+
+let bytes_fn t n = generate t n
+
+let uniform_int t bound =
+  if bound <= 0 then invalid_arg "Drbg.uniform_int";
+  if bound = 1 then 0
+  else begin
+    (* draw 62-bit values; reject above the largest multiple of bound *)
+    let limit = max_int - (max_int mod bound) in
+    let rec draw () =
+      let s = generate t 8 in
+      let v = ref 0 in
+      String.iter (fun c -> v := ((!v lsl 8) lor Char.code c) land max_int) s;
+      if !v < limit then !v mod bound else draw ()
+    in
+    draw ()
+  end
+
+let uniform_float t =
+  let v = uniform_int t (1 lsl 53) in
+  float_of_int v /. float_of_int (1 lsl 53)
+
+let split t label = create ~seed:(generate t 32 ^ label)

@@ -1,0 +1,28 @@
+(** Deterministic random byte generator (HMAC-DRBG, simplified from
+    NIST SP 800-90A).
+
+    All randomness in the library flows through this module so that every
+    experiment is reproducible from a seed.  The generator is
+    cryptographically strong as long as HMAC-SHA256 is a PRF. *)
+
+type t
+
+val create : seed:string -> t
+(** Instantiate from arbitrary seed material. *)
+
+val generate : t -> int -> string
+(** [generate t n] produces the next [n] pseudo-random bytes. *)
+
+val bytes_fn : t -> int -> string
+(** [bytes_fn t] is [generate t], shaped for {!Bignum.Bignat.random_below}. *)
+
+val uniform_int : t -> int -> int
+(** [uniform_int t bound] is uniform in [[0, bound)] via rejection sampling.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val uniform_float : t -> float
+(** Uniform in [[0, 1)] with 53 bits of precision. *)
+
+val split : t -> string -> t
+(** [split t label] derives an independent generator; used to hand each
+    experiment component its own stream without coupling draw orders. *)

@@ -1,0 +1,5 @@
+(** Lowercase hex encoding, used to embed ciphertexts in SQL text. *)
+
+val encode : string -> string
+val decode : string -> string option
+(** [None] on odd length or non-hex characters. *)

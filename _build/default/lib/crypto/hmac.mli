@@ -1,0 +1,19 @@
+(** HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+
+    HMAC is the pseudo-random function underlying every keyed construction
+    in this library: deterministic encryption tags, OPE range sampling, the
+    DRBG, and key derivation. *)
+
+val hmac_sha256 : key:string -> string -> string
+(** [hmac_sha256 ~key msg] is the 32-byte HMAC-SHA256 tag. *)
+
+val hkdf_extract : ?salt:string -> string -> string
+(** [hkdf_extract ?salt ikm] is the 32-byte pseudorandom key. *)
+
+val hkdf_expand : prk:string -> info:string -> int -> string
+(** [hkdf_expand ~prk ~info len] derives [len] bytes ([len <= 255 * 32]). *)
+
+val derive : master:string -> purpose:string -> int -> string
+(** [derive ~master ~purpose len] is a convenience for
+    [hkdf_expand ~prk:(hkdf_extract master) ~info:purpose len]; distinct
+    [purpose] strings yield independent keys. *)

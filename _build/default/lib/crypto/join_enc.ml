@@ -1,0 +1,9 @@
+type group = string
+
+let det_key ~master group = Det.key_of_master ~master ~purpose:("join/" ^ group)
+
+let ope_key ~master group params =
+  Ope.create ~master ~purpose:("join-ope/" ^ group) params
+
+let canonical_group columns =
+  List.sort_uniq String.compare columns |> String.concat "|"

@@ -1,0 +1,20 @@
+(** Join-preserving encryption (the paper's JOIN / JOIN-OPE classes [8]).
+
+    JOIN is "a special usage mode of a DET or OPE scheme" (§II): columns in
+    the same join-equivalence class share one key, so equality (or order)
+    comparisons — and therefore equi-joins — work across encrypted columns.
+    The key is derived from the {e group} name instead of the column name. *)
+
+type group = string
+(** Canonical name of a join-equivalence class of columns. *)
+
+val det_key : master:string -> group -> Det.key
+(** Shared deterministic key for every column in [group] (JOIN mode). *)
+
+val ope_key : master:string -> group -> Ope.params -> Ope.key
+(** Shared order-preserving key for every column in [group] (JOIN-OPE). *)
+
+val canonical_group : string list -> group
+(** Canonical group name for a set of joined columns: the sorted,
+    deduplicated column names joined with ["|"], so any subset of a join
+    class resolves to the same key. *)

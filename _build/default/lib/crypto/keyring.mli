@@ -1,0 +1,20 @@
+(** Key management for a DPE deployment.
+
+    One master secret; every scheme instance gets an independent subkey via
+    HKDF with a purpose string, so e.g. [det "attr"] and [det "rel"] (or the
+    per-attribute constant keys) can never be cross-correlated. *)
+
+type t
+
+val create : master:string -> t
+val of_passphrase : string -> t
+(** Stretch a passphrase into a master key (iterated hashing). *)
+
+val master : t -> string
+val det : t -> string -> Det.key
+val prob : t -> string -> Prob.key
+val ope : t -> ?params:Ope.params -> string -> Ope.key
+val join_det : t -> Join_enc.group -> Det.key
+val join_ope : t -> ?params:Ope.params -> Join_enc.group -> Ope.key
+val drbg : t -> string -> Drbg.t
+(** Fresh deterministic randomness stream for a purpose (IVs, Paillier r). *)

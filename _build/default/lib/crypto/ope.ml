@@ -1,0 +1,65 @@
+type params = { plain_bits : int; cipher_bits : int }
+
+type key = { prf : string; p : params }
+
+let default_params = { plain_bits = 32; cipher_bits = 48 }
+
+let create ~master ~purpose p =
+  if p.plain_bits <= 0 || p.plain_bits >= p.cipher_bits || p.cipher_bits > 55
+  then invalid_arg "Ope.create: invalid params";
+  { prf = Hmac.derive ~master ~purpose:("ope/" ^ purpose) 32; p }
+
+let params k = (k.p.plain_bits, k.p.cipher_bits)
+let max_plain k = (1 lsl k.p.plain_bits) - 1
+
+let encode_int v =
+  String.init 8 (fun i -> Char.chr ((v lsr (8 * (7 - i))) land 0xff))
+
+(* deterministic uniform draw in [0, n) seeded by the node coordinates;
+   n < 2^56, the 62-bit HMAC output makes the modulo bias negligible *)
+let draw key tag a b n =
+  let h = Hmac.hmac_sha256 ~key (tag ^ encode_int a ^ encode_int b) in
+  let v = ref 0 in
+  for i = 0 to 7 do v := ((!v lsl 8) lor Char.code h.[i]) land max_int done;
+  !v mod n
+
+(* Split point for the node covering plaintexts [plo..phi] and ciphertexts
+   [clo..chi]: cs is the highest ciphertext allocated to the left half.
+   Left half holds plaintexts [plo..pm] and needs pm-plo+1 values; right
+   half holds [pm+1..phi] and needs phi-pm values. *)
+let node_split k plo phi clo chi =
+  let pm = plo + (phi - plo) / 2 in
+  let lo = clo + (pm - plo) in
+  let hi = chi - (phi - pm) in
+  (* the node is identified by (plo, phi): the ciphertext range is a
+     function of the path from the root, so it need not enter the seed *)
+  let cs = lo + draw k.prf "node" plo phi (hi - lo + 1) in
+  (pm, cs)
+
+let leaf_value k m clo chi =
+  clo + draw k.prf "leaf" m m (chi - clo + 1)
+
+let encrypt k m =
+  if m < 0 || m > max_plain k then invalid_arg "Ope.encrypt: out of domain";
+  let rec go plo phi clo chi =
+    if plo = phi then leaf_value k plo clo chi
+    else begin
+      let pm, cs = node_split k plo phi clo chi in
+      if m <= pm then go plo pm clo cs else go (pm + 1) phi (cs + 1) chi
+    end
+  in
+  go 0 (max_plain k) 0 ((1 lsl k.p.cipher_bits) - 1)
+
+let decrypt k c =
+  if c < 0 || c >= 1 lsl k.p.cipher_bits then None
+  else begin
+    let rec go plo phi clo chi =
+      if plo = phi then
+        if leaf_value k plo clo chi = c then Some plo else None
+      else begin
+        let pm, cs = node_split k plo phi clo chi in
+        if c <= cs then go plo pm clo cs else go (pm + 1) phi (cs + 1) chi
+      end
+    in
+    go 0 (max_plain k) 0 ((1 lsl k.p.cipher_bits) - 1)
+  end

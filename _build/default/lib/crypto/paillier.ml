@@ -1,0 +1,81 @@
+module N = Bignum.Bignat
+
+type public = { n : N.t; n2 : N.t; mont : N.mont }
+(* n2 = n^2 is odd (n is a product of odd primes), so the Montgomery
+   context always exists and makes every exponentiation ~3x faster *)
+type secret = { pub : public; lambda : N.t; mu : N.t }
+
+let modulus pub = pub.n
+let public_of_secret sk = sk.pub
+
+let keygen ?(bits = 512) rng =
+  if bits < 32 then invalid_arg "Paillier.keygen: modulus too small";
+  let rng_fn = Drbg.bytes_fn rng in
+  let half = bits / 2 in
+  let rec pick_q p =
+    let q = N.generate_prime rng_fn half in
+    if N.equal p q then pick_q p else q
+  in
+  let p = N.generate_prime rng_fn half in
+  let q = pick_q p in
+  let n = N.mul p q in
+  let n2 = N.mul n n in
+  let mont =
+    match N.mont_create n2 with
+    | Some m -> m
+    | None -> assert false (* n2 is odd and > 3 *)
+  in
+  let lambda = N.lcm (N.sub p N.one) (N.sub q N.one) in
+  (* with g = n+1:  L(g^lambda mod n^2) = lambda mod n, so mu = lambda^-1 *)
+  let mu =
+    match N.mod_inv lambda n with
+    | Some mu -> mu
+    | None -> invalid_arg "Paillier.keygen: lambda not invertible (retry seed)"
+  in
+  let pub = { n; n2; mont } in
+  (pub, { pub; lambda; mu })
+
+let random_unit pub rng =
+  let rng_fn = Drbg.bytes_fn rng in
+  let rec go () =
+    let r = N.random_below rng_fn pub.n in
+    if N.is_zero r || not (N.is_one (N.gcd r pub.n)) then go () else r
+  in
+  go ()
+
+let encrypt pub rng m =
+  if N.compare m pub.n >= 0 then invalid_arg "Paillier.encrypt: m >= n";
+  let r = random_unit pub rng in
+  (* g^m = 1 + m*n (mod n^2) for g = n + 1 *)
+  let gm = N.rem (N.add N.one (N.mul m pub.n)) pub.n2 in
+  let rn = N.mont_pow pub.mont r pub.n in
+  N.mod_mul gm rn pub.n2
+
+let encode_int pub v =
+  if v >= 0 then N.of_int v else N.sub pub.n (N.of_int (-v))
+
+let encrypt_int pub rng v = encrypt pub rng (encode_int pub v)
+
+let l_function pub u = N.div (N.sub u N.one) pub.n
+
+let decrypt sk c =
+  let pub = sk.pub in
+  if N.compare c pub.n2 >= 0 then invalid_arg "Paillier.decrypt: c >= n^2";
+  let u = N.mont_pow pub.mont c sk.lambda in
+  N.mod_mul (l_function pub u) sk.mu pub.n
+
+let decrypt_int sk c =
+  let pub = sk.pub in
+  let m = decrypt sk c in
+  let half = N.shift_right pub.n 1 in
+  if N.compare m half <= 0 then N.to_int m
+  else - (N.to_int (N.sub pub.n m))
+
+let add pub c1 c2 = N.mod_mul c1 c2 pub.n2
+
+let scalar_mul pub c k =
+  if k < 0 then invalid_arg "Paillier.scalar_mul: negative scalar";
+  N.mont_pow pub.mont c (N.of_int k)
+
+let serialize = N.to_bytes_be
+let deserialize = N.of_bytes_be

@@ -1,0 +1,39 @@
+(** Paillier additively homomorphic encryption (the paper's HOM class [11]).
+
+    Built entirely on {!Bignum.Bignat}.  With public modulus [n] and
+    generator [g = n + 1]: [Enc(m; r) = (1 + m·n) · r^n mod n²].  Supports
+    [Dec(Enc a ⊕ Enc b) = a + b mod n] and scalar multiplication, which is
+    what a service provider needs to evaluate SUM/AVG/COUNT aggregates over
+    encrypted columns. *)
+
+type public
+type secret
+
+val keygen : ?bits:int -> Drbg.t -> public * secret
+(** [keygen ~bits rng] generates a key with a [bits]-bit modulus
+    (default 512 — small by production standards, sized for test speed;
+    the construction is parametric). *)
+
+val modulus : public -> Bignum.Bignat.t
+val public_of_secret : secret -> public
+
+val encrypt : public -> Drbg.t -> Bignum.Bignat.t -> Bignum.Bignat.t
+(** @raise Invalid_argument if the plaintext is [>= n]. *)
+
+val encrypt_int : public -> Drbg.t -> int -> Bignum.Bignat.t
+(** Encrypts a (possibly negative) native int, encoded centered mod [n]. *)
+
+val decrypt : secret -> Bignum.Bignat.t -> Bignum.Bignat.t
+
+val decrypt_int : secret -> Bignum.Bignat.t -> int
+(** Inverse of {!encrypt_int} plus any homomorphic sums: plaintexts in the
+    upper half of [[0, n)] decode as negative. *)
+
+val add : public -> Bignum.Bignat.t -> Bignum.Bignat.t -> Bignum.Bignat.t
+(** Homomorphic addition: ciphertext product mod [n²]. *)
+
+val scalar_mul : public -> Bignum.Bignat.t -> int -> Bignum.Bignat.t
+(** [scalar_mul pub c k] encrypts [k · Dec c]; [k >= 0]. *)
+
+val serialize : Bignum.Bignat.t -> string
+val deserialize : string -> Bignum.Bignat.t

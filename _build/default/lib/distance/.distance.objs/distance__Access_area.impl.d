@@ -1,0 +1,1 @@
+lib/distance/access_area.pp.ml: Interval List Option Set Sqlir String

@@ -1,0 +1,1 @@
+lib/distance/access_area.pp.mli: Interval Sqlir

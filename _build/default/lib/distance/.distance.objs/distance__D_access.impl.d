@@ -1,0 +1,1 @@
+lib/distance/d_access.pp.ml: Access_area List String

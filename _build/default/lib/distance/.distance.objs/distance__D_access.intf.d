@@ -1,0 +1,1 @@
+lib/distance/d_access.pp.mli: Sqlir

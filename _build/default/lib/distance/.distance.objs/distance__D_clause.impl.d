@@ -1,0 +1,1 @@
+lib/distance/d_clause.pp.ml: Jaccard List Option Printf Sqlir String

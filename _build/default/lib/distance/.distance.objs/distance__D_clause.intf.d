@@ -1,0 +1,1 @@
+lib/distance/d_clause.pp.mli: Sqlir

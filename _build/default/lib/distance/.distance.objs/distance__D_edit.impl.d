@@ -1,0 +1,1 @@
+lib/distance/d_edit.pp.ml: Array Char D_token Fun Sqlir String

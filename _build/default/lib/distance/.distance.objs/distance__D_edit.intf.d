@@ -1,0 +1,1 @@
+lib/distance/d_edit.pp.mli: Sqlir

@@ -1,0 +1,1 @@
+lib/distance/d_result.pp.ml: Array Jaccard List Minidb

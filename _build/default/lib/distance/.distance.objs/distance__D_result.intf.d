@@ -1,0 +1,1 @@
+lib/distance/d_result.pp.mli: Minidb Sqlir

@@ -1,0 +1,1 @@
+lib/distance/d_structure.pp.ml: Feature Jaccard Sqlir

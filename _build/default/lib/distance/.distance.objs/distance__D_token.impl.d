@@ -1,0 +1,1 @@
+lib/distance/d_token.pp.ml: Jaccard List Sqlir String

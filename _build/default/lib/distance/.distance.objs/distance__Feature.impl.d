@@ -1,0 +1,1 @@
+lib/distance/feature.pp.ml: List Option Ppx_deriving_runtime Sqlir

@@ -1,0 +1,1 @@
+lib/distance/feature.pp.mli: Ppx_deriving_runtime Sqlir

@@ -1,0 +1,1 @@
+lib/distance/interval.pp.ml: Float List Option Printf String

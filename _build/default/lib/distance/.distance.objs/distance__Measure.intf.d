@@ -1,0 +1,1 @@
+lib/distance/measure.pp.mli: Minidb Sqlir

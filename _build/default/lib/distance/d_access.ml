@@ -1,0 +1,32 @@
+let default_x = 0.5
+
+let check_x x =
+  if not (x > 0.0 && x < 1.0) then invalid_arg "D_access: x must be in (0,1)"
+
+let area_map q = Access_area.of_query q
+
+let lookup areas key =
+  match List.assoc_opt key areas with
+  | Some a -> a
+  | None -> Access_area.Empty
+
+let per_attribute ?(x = default_x) q1 q2 =
+  check_x x;
+  let a1 = area_map q1 and a2 = area_map q2 in
+  let keys =
+    List.sort_uniq String.compare (List.map fst a1 @ List.map fst a2)
+  in
+  List.map
+    (fun key -> (key, Access_area.delta ~x (lookup a1 key) (lookup a2 key)))
+    keys
+
+let distance ?(x = default_x) q1 q2 =
+  let deltas = per_attribute ~x q1 q2 in
+  match deltas with
+  | [] -> 0.0
+  | _ ->
+    (* sum in sorted VALUE order: attribute keys sort differently before
+       and after encryption, and float addition is not associative — value
+       ordering keeps d(Enc x, Enc y) = d(x, y) bit-exact for every x *)
+    let values = List.sort compare (List.map snd deltas) in
+    List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)

@@ -1,0 +1,16 @@
+(** Query-access-area distance (Definition 5).
+
+    [d(Q1,Q2) = (1/|Attr|) Σ_A δ_A(Q1,Q2)] over the attributes accessed by
+    either query, with [δ_A = 0] when the access areas coincide, [x] when
+    they merely overlap, and [1] otherwise.  The default partial-overlap
+    weight is the paper's [x = 0.5]. *)
+
+val default_x : float
+
+val distance : ?x:float -> Sqlir.Ast.query -> Sqlir.Ast.query -> float
+(** @raise Invalid_argument unless [0 < x < 1]. *)
+
+val per_attribute : ?x:float -> Sqlir.Ast.query -> Sqlir.Ast.query
+  -> (string * float) list
+(** The individual δ values, keyed by attribute — useful for debugging and
+    for the experiment reports. *)

@@ -1,0 +1,31 @@
+(** Clause-based query distance in the style of Aligon et al. [17]
+    ("Mining preferences from OLAP query logs…" and the companion
+    similarity measures for OLAP sessions) — the measure family behind the
+    paper's §V pointer to OLAP personalization.
+
+    A query is summarized by three component sets — the {e projection} set
+    (selected attributes / aggregates), the {e group-by} set, and the
+    {e selection} set (predicate atoms with constants dropped) — and the
+    distance is a weighted average of the three Jaccard distances.
+
+    Every component is constant-free and name-based, so the measure is
+    preserved by the same scheme as the query-structure distance (DET
+    names, PROB constants); this is verified in the test suite. *)
+
+type weights = {
+  w_projection : float;
+  w_group_by : float;
+  w_selection : float;
+}
+(** Must be non-negative and sum to a positive value; they are normalized
+    internally. *)
+
+val default_weights : weights
+(** Aligon et al.'s emphasis on the group-by set: 0.35 / 0.50 / 0.15. *)
+
+val projection_set : Sqlir.Ast.query -> string list
+val group_by_set : Sqlir.Ast.query -> string list
+val selection_set : Sqlir.Ast.query -> string list
+
+val distance : ?weights:weights -> Sqlir.Ast.query -> Sqlir.Ast.query -> float
+(** @raise Invalid_argument on invalid weights. *)

@@ -1,0 +1,23 @@
+let result_set db q =
+  Minidb.Executor.result_tuple_set (Minidb.Executor.run db q)
+
+let distance db q1 q2 =
+  Jaccard.distance
+    ~compare:(List.compare Minidb.Value.compare)
+    (result_set db q1) (result_set db q2)
+
+let matrix db queries =
+  let sets = Array.of_list (List.map (result_set db) queries) in
+  let n = Array.length sets in
+  let m = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d =
+        Jaccard.distance ~compare:(List.compare Minidb.Value.compare)
+          sets.(i) sets.(j)
+      in
+      m.(i).(j) <- d;
+      m.(j).(i) <- d
+    done
+  done;
+  m

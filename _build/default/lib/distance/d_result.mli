@@ -1,0 +1,16 @@
+(** Query-result distance (§IV-B3): Jaccard distance of the result tuple
+    sets of the two queries, evaluated against a database instance.
+
+    The database is part of the measure — sharing the log alone is not
+    enough (Table I column "DB-Content"). *)
+
+val distance : Minidb.Database.t -> Sqlir.Ast.query -> Sqlir.Ast.query -> float
+(** @raise Minidb.Executor.Exec_error if either query is invalid for [db]. *)
+
+val result_set : Minidb.Database.t -> Sqlir.Ast.query -> Minidb.Value.t list list
+(** The deduplicated result tuple set ([result tuples(Q)] of Definition 4). *)
+
+val matrix : Minidb.Database.t -> Sqlir.Ast.query list -> float array array
+(** The full pairwise distance matrix, evaluating each query {e once}
+    instead of once per pair — an O(n) vs O(n²) difference in executor
+    work that dominates result-distance mining (see the perf bench). *)

@@ -1,0 +1,20 @@
+(** Token-based query-string distance (Definition 3).
+
+    A query is viewed as the {e set} of its lexical tokens; the distance is
+    the Jaccard distance of the two token sets. *)
+
+val fuse : Sqlir.Lexer.token list -> string list
+(** Lexemes with [LIMIT n] fused into one structural token — necessary for
+    token equivalence, because the LIMIT numeral stays plaintext under
+    encryption while equal-looking attribute constants do not. *)
+
+val tokens : string -> string list
+(** Normalized token set of a query string (keywords uppercased, string
+    literals re-quoted, LIMIT fused).
+    @raise Sqlir.Lexer.Lex_error on garbage. *)
+
+val distance : string -> string -> float
+(** Distance between two query strings. *)
+
+val distance_q : Sqlir.Ast.query -> Sqlir.Ast.query -> float
+(** Distance between two parsed queries via their canonical printing. *)

@@ -1,0 +1,62 @@
+module Ast = Sqlir.Ast
+
+type t =
+  | Fselect of string
+  | Fselect_agg of Sqlir.Ast.agg_fn * string option
+  | Fdistinct
+  | Ffrom of string
+  | Fjoin of Sqlir.Ast.join_kind * string * string * string
+  | Fwhere of string * string
+  | Fgroup_by of string
+  | Fhaving of Sqlir.Ast.agg_fn * string option * string
+  | Forder_by of string * Sqlir.Ast.order_dir
+  | Flimit
+[@@deriving show, eq, ord]
+
+let attr_str = Sqlir.Printer.attr_to_string
+
+(* operator shape of a predicate atom: the constant is dropped, the
+   comparison operator (or construct name) is kept *)
+let rec where_features p =
+  match p with
+  | Ast.Cmp (c, a, _) -> [ Fwhere (attr_str a, Sqlir.Printer.cmp_to_string c) ]
+  | Ast.Cmp_attrs (c, a, b) ->
+    (* both attributes are structural; keep the pair *)
+    [ Fwhere (attr_str a, Sqlir.Printer.cmp_to_string c ^ " " ^ attr_str b) ]
+  | Ast.Between (a, _, _) -> [ Fwhere (attr_str a, "BETWEEN") ]
+  | Ast.In_list (a, _) -> [ Fwhere (attr_str a, "IN") ]
+  | Ast.Like (a, _) -> [ Fwhere (attr_str a, "LIKE") ]
+  | Ast.Is_null a -> [ Fwhere (attr_str a, "IS NULL") ]
+  | Ast.Is_not_null a -> [ Fwhere (attr_str a, "IS NOT NULL") ]
+  | Ast.Cmp_agg (c, fn, arg, _) ->
+    [ Fhaving (fn, Option.map attr_str arg, Sqlir.Printer.cmp_to_string c) ]
+  | Ast.And (l, r) | Ast.Or (l, r) -> where_features l @ where_features r
+  | Ast.Not q -> where_features q
+
+let of_query (q : Ast.query) =
+  let select_features =
+    List.concat_map
+      (function
+        | Ast.Star -> []
+        (* aliases are cosmetic output labels: structurally invisible *)
+        | Ast.Sel_attr (a, _) -> [ Fselect (attr_str a) ]
+        | Ast.Sel_agg (fn, arg, _) -> [ Fselect_agg (fn, Option.map attr_str arg) ])
+      q.Ast.select
+  in
+  let feats =
+    select_features
+    @ (if q.Ast.distinct then [ Fdistinct ] else [])
+    @ List.map (fun r -> Ffrom r) q.Ast.from
+    @ List.map
+        (fun (j : Ast.join) ->
+          Fjoin (j.Ast.jkind, j.Ast.jrel, attr_str j.Ast.jleft, attr_str j.Ast.jright))
+        q.Ast.joins
+    @ (match q.Ast.where with None -> [] | Some p -> where_features p)
+    @ List.map (fun a -> Fgroup_by (attr_str a)) q.Ast.group_by
+    @ (match q.Ast.having with None -> [] | Some p -> where_features p)
+    @ List.map (fun (a, d) -> Forder_by (attr_str a, d)) q.Ast.order_by
+    @ (match q.Ast.limit with None -> [] | Some _ -> [ Flimit ])
+  in
+  List.sort_uniq compare feats
+
+let to_string = show

@@ -1,0 +1,28 @@
+(** Query features in the style of SnipSuggest [15], used by the
+    query-structure distance (§IV-B2).
+
+    A feature is a fragment of the query's structure with all constants
+    removed — e.g. the paper's Example 5 extracts
+    [(SELECT, A1); (FROM, R); (WHERE, A2 >)] from
+    [SELECT A1 FROM R WHERE A2 > 5].  Because constants are dropped and
+    names are kept, the feature set commutes with the high-level encryption
+    scheme (structural equivalence, Table I row 2). *)
+
+type t =
+  | Fselect of string                    (** attribute in SELECT *)
+  | Fselect_agg of Sqlir.Ast.agg_fn * string option
+  | Fdistinct
+  | Ffrom of string                      (** relation *)
+  | Fjoin of Sqlir.Ast.join_kind * string * string * string
+      (** join kind, joined relation and the ON pair *)
+  | Fwhere of string * string            (** attribute and operator shape *)
+  | Fgroup_by of string
+  | Fhaving of Sqlir.Ast.agg_fn * string option * string
+  | Forder_by of string * Sqlir.Ast.order_dir
+  | Flimit
+[@@deriving show, eq, ord]
+
+val of_query : Sqlir.Ast.query -> t list
+(** The feature {e set} (sorted, deduplicated). *)
+
+val to_string : t -> string

@@ -1,0 +1,20 @@
+let intersection_and_union_sizes ~compare a b =
+  let a = List.sort_uniq compare a and b = List.sort_uniq compare b in
+  let rec go inter union a b =
+    match a, b with
+    | [], rest | rest, [] -> (inter, union + List.length rest)
+    | x :: xs, y :: ys ->
+      let c = compare x y in
+      if c = 0 then go (inter + 1) (union + 1) xs ys
+      else if c < 0 then go inter (union + 1) xs b
+      else go inter (union + 1) a ys
+  in
+  go 0 0 a b
+
+let similarity ~compare a b =
+  let inter, union = intersection_and_union_sizes ~compare a b in
+  if union = 0 then 1.0 else float_of_int inter /. float_of_int union
+
+let distance ~compare a b = 1.0 -. similarity ~compare a b
+
+let distance_strings a b = distance ~compare:String.compare a b

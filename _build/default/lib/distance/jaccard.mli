@@ -1,0 +1,12 @@
+(** Jaccard set distance, the basis of three of the four query-distance
+    measures (Definitions 3, 4 and the query-structure distance).
+
+    [d(A, B) = 1 - |A ∩ B| / |A ∪ B|]; the distance of two empty sets is 0. *)
+
+val distance : compare:('a -> 'a -> int) -> 'a list -> 'a list -> float
+(** Inputs are treated as sets (deduplicated with [compare]). *)
+
+val similarity : compare:('a -> 'a -> int) -> 'a list -> 'a list -> float
+(** [1 - distance]. *)
+
+val distance_strings : string list -> string list -> float

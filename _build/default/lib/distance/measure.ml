@@ -1,0 +1,67 @@
+type t = Token | Structure | Result | Access | Edit | Clause
+
+let all = [ Token; Structure; Result; Access ]
+let extended = all @ [ Edit; Clause ]
+
+let to_string = function
+  | Token -> "token"
+  | Structure -> "structure"
+  | Result -> "result"
+  | Access -> "access-area"
+  | Edit -> "edit"
+  | Clause -> "clause"
+
+let of_string = function
+  | "token" -> Some Token
+  | "structure" -> Some Structure
+  | "result" -> Some Result
+  | "access-area" | "access" -> Some Access
+  | "edit" | "levenshtein" -> Some Edit
+  | "clause" | "aligon" -> Some Clause
+  | _ -> None
+
+type ctx = {
+  db : Minidb.Database.t option;
+  x : float;
+}
+
+let default_ctx = { db = None; x = D_access.default_x }
+let ctx_with_db db = { default_ctx with db = Some db }
+
+let needs_db_content = function
+  | Result -> true
+  | Token | Structure | Access | Edit | Clause -> false
+
+let needs_domains = function
+  | Access -> true
+  | Token | Structure | Result | Edit | Clause -> false
+
+let compute ctx measure q1 q2 =
+  match measure with
+  | Token -> D_token.distance_q q1 q2
+  | Edit -> D_edit.distance_q q1 q2
+  | Clause -> D_clause.distance q1 q2
+  | Structure -> D_structure.distance q1 q2
+  | Access -> D_access.distance ~x:ctx.x q1 q2
+  | Result ->
+    (match ctx.db with
+     | Some db -> D_result.distance db q1 q2
+     | None -> invalid_arg "Measure.compute: result distance needs a database")
+
+let matrix ctx measure queries =
+  match measure, ctx.db with
+  | Result, Some db -> D_result.matrix db queries
+  | Result, None ->
+    invalid_arg "Measure.matrix: result distance needs a database"
+  | (Token | Structure | Access | Edit | Clause), _ ->
+    let qs = Array.of_list queries in
+    let n = Array.length qs in
+    let m = Array.make_matrix n n 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let d = compute ctx measure qs.(i) qs.(j) in
+        m.(i).(j) <- d;
+        m.(j).(i) <- d
+      done
+    done;
+    m

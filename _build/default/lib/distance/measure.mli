@@ -1,0 +1,47 @@
+(** The four SQL query-distance measures of Table I, behind one interface.
+
+    Mining algorithms ({!Mining}) and the experiment harness consume
+    distances through this module so that every experiment is parametric in
+    the measure. *)
+
+type t =
+  | Token
+  | Structure
+  | Result
+  | Access
+  | Edit
+      (** extension: normalized token-level Levenshtein distance (the
+          paper's Example 2 mentions Levenshtein but does not develop it);
+          preserved by the same scheme as {!Token} *)
+  | Clause
+      (** extension: Aligon-style clause-based OLAP distance [17]
+          ({!D_clause}); preserved by the same scheme as {!Structure} *)
+
+val all : t list
+(** The paper's four measures (Table I), without {!Edit}. *)
+
+val extended : t list
+(** All five, including the {!Edit} extension. *)
+val to_string : t -> string
+val of_string : string -> t option
+
+type ctx = {
+  db : Minidb.Database.t option;  (** required by {!Result} *)
+  x : float;                      (** partial-overlap weight of {!Access} *)
+}
+
+val default_ctx : ctx
+val ctx_with_db : Minidb.Database.t -> ctx
+
+val needs_db_content : t -> bool
+(** Table I column "Shared information: DB-Content". *)
+
+val needs_domains : t -> bool
+(** Table I column "Shared information: Domains". *)
+
+val compute : ctx -> t -> Sqlir.Ast.query -> Sqlir.Ast.query -> float
+(** @raise Invalid_argument if {!Result} is requested without a database. *)
+
+val matrix : ctx -> t -> Sqlir.Ast.query list -> float array array
+(** The full symmetric pairwise matrix.  Prefer this over calling
+    {!compute} per pair: the result measure evaluates each query once. *)

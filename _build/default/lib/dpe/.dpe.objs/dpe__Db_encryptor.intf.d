@@ -1,0 +1,1 @@
+lib/dpe/db_encryptor.pp.mli: Encryptor Minidb

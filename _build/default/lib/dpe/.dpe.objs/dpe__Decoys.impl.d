@@ -1,0 +1,1 @@
+lib/dpe/decoys.pp.ml: Array Crypto Fun List Sqlir Workload

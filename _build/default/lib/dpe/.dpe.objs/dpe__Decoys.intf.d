@@ -1,0 +1,1 @@
+lib/dpe/decoys.pp.mli: Sqlir Workload

@@ -1,0 +1,1 @@
+lib/dpe/encryptor.pp.ml: Buffer Crypto Hashtbl List Minidb Option Printf Scheme Sqlir String

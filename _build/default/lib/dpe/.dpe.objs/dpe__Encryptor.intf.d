@@ -1,0 +1,1 @@
+lib/dpe/encryptor.pp.mli: Crypto Minidb Scheme Sqlir

@@ -1,0 +1,1 @@
+lib/dpe/equivalence.pp.ml: Distance Ppx_deriving_runtime

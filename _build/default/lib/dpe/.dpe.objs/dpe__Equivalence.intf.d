@@ -1,0 +1,1 @@
+lib/dpe/equivalence.pp.mli: Distance Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/dpe/hom_aggregate.pp.ml: Crypto Encryptor List Minidb Printf Scheme

@@ -1,0 +1,1 @@
+lib/dpe/hom_aggregate.pp.mli: Bignum Encryptor Minidb

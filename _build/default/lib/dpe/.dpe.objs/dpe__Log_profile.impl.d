@@ -1,0 +1,1 @@
+lib/dpe/log_profile.pp.ml: Format Hashtbl List Option Printf Sqlir String

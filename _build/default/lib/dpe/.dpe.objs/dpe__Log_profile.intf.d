@@ -1,0 +1,1 @@
+lib/dpe/log_profile.pp.mli: Format Sqlir

@@ -1,0 +1,1 @@
+lib/dpe/scheme.pp.ml: Distance Equivalence Format List Ppx_deriving_runtime Taxonomy

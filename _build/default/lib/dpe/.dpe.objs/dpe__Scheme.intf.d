@@ -1,0 +1,1 @@
+lib/dpe/scheme.pp.mli: Distance Equivalence Format Ppx_deriving_runtime Taxonomy

@@ -1,0 +1,1 @@
+lib/dpe/selector.pp.ml: Crypto Distance Equivalence List Log_profile Option Printf Scheme Taxonomy

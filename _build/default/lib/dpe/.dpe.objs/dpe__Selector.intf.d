@@ -1,0 +1,1 @@
+lib/dpe/selector.pp.mli: Distance Log_profile Scheme

@@ -1,0 +1,1 @@
+lib/dpe/taxonomy.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/dpe/taxonomy.pp.mli: Ppx_deriving_runtime

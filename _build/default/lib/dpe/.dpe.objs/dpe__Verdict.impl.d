@@ -1,0 +1,1 @@
+lib/dpe/verdict.pp.ml: Array Distance Encryptor Equivalence Float Format List Minidb Option Sqlir String

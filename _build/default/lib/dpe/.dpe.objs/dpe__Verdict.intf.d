@@ -1,0 +1,1 @@
+lib/dpe/verdict.pp.mli: Distance Encryptor Equivalence Format Minidb Sqlir

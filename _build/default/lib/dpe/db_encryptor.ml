@@ -1,0 +1,58 @@
+module Value = Minidb.Value
+module Schema = Minidb.Schema
+module Table = Minidb.Table
+module Database = Minidb.Database
+
+let column_cipher_type enc name (ty : Value.ty) : Value.ty =
+  let cls =
+    match (Encryptor.scheme enc).Scheme.consts with
+    | Scheme.Global cls -> cls
+    | Scheme.Per_attribute _ -> Scheme.class_for_attr (Encryptor.scheme enc) name
+  in
+  match cls with
+  | Scheme.C_ope | Scheme.C_ope_join _ -> Value.Tint
+  | Scheme.C_det | Scheme.C_det_join _ | Scheme.C_prob | Scheme.C_hom ->
+    ignore ty;
+    Value.Tstring
+
+let encrypt_schema enc (s : Schema.t) =
+  Schema.make
+    ~rel:(Encryptor.encrypt_rel enc s.Schema.rel)
+    (List.map
+       (fun (c : Schema.column) ->
+         (Encryptor.encrypt_attr_name enc c.Schema.name,
+          column_cipher_type enc c.Schema.name c.Schema.ty))
+       s.Schema.columns)
+
+let encrypt_table enc table =
+  let plain_schema = Table.schema table in
+  let names = Schema.column_names plain_schema in
+  let cipher_schema = encrypt_schema enc plain_schema in
+  let encrypt_row row =
+    Array.of_list
+      (List.mapi
+         (fun i name -> Encryptor.encrypt_value enc ~attr:name row.(i))
+         names)
+  in
+  Table.map_rows encrypt_row cipher_schema table
+
+let encrypt_database enc db =
+  List.fold_left
+    (fun acc table -> Database.add_table acc (encrypt_table enc table))
+    Database.empty (Database.tables db)
+
+let decrypt_table enc ~plain_schema table =
+  let names = Schema.column_names plain_schema in
+  let exception Stop of string in
+  let decrypt_row row =
+    Array.of_list
+      (List.mapi
+         (fun i name ->
+           match Encryptor.decrypt_value enc ~attr:name row.(i) with
+           | Ok v -> v
+           | Error e -> raise (Stop e))
+         names)
+  in
+  match Table.map_rows decrypt_row plain_schema table with
+  | t -> Ok t
+  | exception Stop e -> Error e

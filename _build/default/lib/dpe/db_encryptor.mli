@@ -1,0 +1,20 @@
+(** Encryption of database content (needed for result equivalence: both the
+    log and the content of every accessed attribute are shared, Table I).
+
+    Relation and column names go through the scheme's name encryption;
+    every stored value goes through the per-attribute constant policy, so
+    that the encrypted query executed over the encrypted database touches
+    exactly the rows the plaintext query touches over the plaintext
+    database. *)
+
+val encrypt_schema : Encryptor.t -> Minidb.Schema.t -> Minidb.Schema.t
+
+val encrypt_table : Encryptor.t -> Minidb.Table.t -> Minidb.Table.t
+
+val encrypt_database : Encryptor.t -> Minidb.Database.t -> Minidb.Database.t
+(** @raise Encryptor.Encrypt_error when a value cannot be represented in
+    its column's class (e.g. a string in an OPE column). *)
+
+val decrypt_table : Encryptor.t -> plain_schema:Minidb.Schema.t
+  -> Minidb.Table.t -> (Minidb.Table.t, string) result
+(** Key-owner inversion, given the plaintext schema (for column names). *)

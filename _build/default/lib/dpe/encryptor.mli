@@ -1,0 +1,76 @@
+(** The DPE encryptor: applies a {!Scheme} to queries, logs, values and
+    result tuples, and inverts all of it for the key owner.
+
+    Encrypted queries are ordinary {!Sqlir.Ast} queries — relation and
+    attribute names become identifier-safe ciphertext names, constants
+    become hex string literals (DET/PROB) or OPE integers — so they can be
+    printed, re-parsed, executed by {!Minidb.Executor} and measured by
+    {!Distance} exactly like plaintext ones. *)
+
+type t
+
+exception Encrypt_error of string
+
+val create : Crypto.Keyring.t -> Scheme.t -> t
+(** The encryptor draws IVs and Paillier randomness from a DRBG derived
+    from the keyring, so a fixed master key gives reproducible output. *)
+
+val scheme : t -> Scheme.t
+
+(** {1 Names} *)
+
+val encrypt_rel : t -> string -> string
+val encrypt_attr_name : t -> string -> string
+val decrypt_rel : t -> string -> string option
+val decrypt_attr_name : t -> string -> string option
+
+(** {1 Queries} *)
+
+val encrypt_const : t -> Sqlir.Ast.const_ctx -> Sqlir.Ast.const -> Sqlir.Ast.const
+(** Encrypt a single constant in its context (exposed for the token-level
+    equivalence check and the attack harness).
+    @raise Encrypt_error as {!encrypt_query}. *)
+
+val encrypt_query : t -> Sqlir.Ast.query -> Sqlir.Ast.query
+(** @raise Encrypt_error when the scheme cannot handle a construct (e.g.
+    float or string constants under an OPE policy, SUM thresholds). *)
+
+val encrypt_log : t -> Sqlir.Ast.query list -> Sqlir.Ast.query list
+
+val decrypt_query : t -> Sqlir.Ast.query -> (Sqlir.Ast.query, string) result
+(** Key-owner inversion of {!encrypt_query}. *)
+
+(** {1 Values (database content and result tuples)} *)
+
+val encrypt_value : t -> attr:string -> Minidb.Value.t -> Minidb.Value.t
+(** [attr] is the plaintext (unqualified) column name; nulls pass through. *)
+
+val decrypt_value : t -> attr:string -> Minidb.Value.t -> (Minidb.Value.t, string) result
+
+val encrypt_result_tuple :
+  t -> Minidb.Executor.provenance list -> Minidb.Value.t list -> Minidb.Value.t list
+(** Encrypt a plaintext result tuple column-wise according to where each
+    output column came from: values of an attribute follow that attribute's
+    policy, COUNT outputs stay plain, MIN/MAX outputs follow the aggregated
+    attribute.  This realizes [Enc(result tuples(Q))] of Definition 4.
+    @raise Encrypt_error for SUM/AVG outputs (those need the CryptDB-style
+    client round-trip, see {!Hom_aggregate}). *)
+
+(** {1 Key rotation} *)
+
+val rotate_query :
+  old_enc:t -> new_enc:t -> Sqlir.Ast.query -> (Sqlir.Ast.query, string) result
+(** Re-encrypt one query from the old keyring to the new one (the key owner
+    periodically rotates the master secret; the provider sees a fresh,
+    unlinkable log whose pairwise distances are unchanged). *)
+
+val rotate_log :
+  old_enc:t -> new_enc:t -> Sqlir.Ast.query list
+  -> (Sqlir.Ast.query list, string) result
+
+val paillier : t -> Crypto.Paillier.public * Crypto.Paillier.secret
+(** The lazily-generated Paillier keypair used for HOM columns. *)
+
+val prob_reference_ciphertext : t -> attr:string -> Minidb.Value.t -> string
+(** One PROB encryption of the value (fresh randomness) — exposed for the
+    attack harness, which needs ciphertext material to attack. *)

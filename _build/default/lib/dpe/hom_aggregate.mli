@@ -1,0 +1,18 @@
+(** Homomorphic aggregation over HOM (Paillier) columns — the CryptDB-style
+    path for SUM/AVG that the result-equivalence scheme falls back to.
+
+    The provider computes the encrypted sum without any key material; only
+    the key owner can read it.  AVG is served as (SUM, COUNT). *)
+
+val sum_ciphertext :
+  Encryptor.t -> Minidb.Database.t -> rel:string -> attr:string
+  -> Bignum.Bignat.t * int
+(** [sum_ciphertext enc encdb ~rel ~attr] folds the Paillier ciphertexts of
+    the (plaintext-named) column [rel.attr] of the {e encrypted} database
+    with homomorphic addition.  Returns the ciphertext of the sum and the
+    count of non-null values.  Uses only the public key.
+    @raise Not_found if the relation/column does not exist.
+    @raise Encryptor.Encrypt_error if the column is not a HOM column. *)
+
+val decrypt_sum : Encryptor.t -> Bignum.Bignat.t -> int
+(** Key-owner decryption of a homomorphic sum. *)

@@ -1,0 +1,213 @@
+module Ast = Sqlir.Ast
+
+type usage = {
+  eq : bool;
+  range : bool;
+  like : bool;
+  null_check : bool;
+  group : bool;
+  order : bool;
+  order_with_limit : bool;
+  select_plain : bool;
+  agg_minmax : bool;
+  agg_sum : bool;
+  agg_count : bool;
+  int_consts : bool;
+  float_consts : bool;
+  string_consts : bool;
+}
+
+let no_usage = {
+  eq = false; range = false; like = false; null_check = false; group = false;
+  order = false; order_with_limit = false; select_plain = false;
+  agg_minmax = false; agg_sum = false; agg_count = false;
+  int_consts = false; float_consts = false; string_consts = false;
+}
+
+type t = {
+  attrs : (string * usage) list;
+  join_classes : string list list;
+  relations : string list;
+  n_queries : int;
+  warnings : string list;
+}
+
+(* profile construction uses a mutable table keyed by unqualified name *)
+let key (a : Ast.attr) = a.Ast.name
+
+let of_log (log : Ast.query list) =
+  let tbl : (string, usage) Hashtbl.t = Hashtbl.create 32 in
+  let touch a f =
+    let k = key a in
+    let u = Option.value ~default:no_usage (Hashtbl.find_opt tbl k) in
+    Hashtbl.replace tbl k (f u)
+  in
+  let warnings = ref [] in
+  let warn fmt = Printf.ksprintf (fun s ->
+      if not (List.mem s !warnings) then warnings := s :: !warnings) fmt
+  in
+  let const_types a c u =
+    ignore a;
+    match c with
+    | Ast.Cint _ -> { u with int_consts = true }
+    | Ast.Cfloat _ -> { u with float_consts = true }
+    | Ast.Cstring _ -> { u with string_consts = true }
+  in
+  (* union-find over attribute keys for join classes *)
+  let parent : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None | Some "" -> x
+    | Some p when p = x -> x
+    | Some p ->
+      let r = find p in
+      Hashtbl.replace parent x r;
+      r
+  in
+  let union x y =
+    if not (Hashtbl.mem parent x) then Hashtbl.replace parent x x;
+    if not (Hashtbl.mem parent y) then Hashtbl.replace parent y y;
+    let rx = find x and ry = find y in
+    if rx <> ry then Hashtbl.replace parent rx ry
+  in
+  let rec walk_pred ~in_where q p =
+    match p with
+    | Ast.Cmp (c, a, v) ->
+      let is_range = match c with
+        | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> true
+        | Ast.Eq | Ast.Neq -> false
+      in
+      touch a (fun u ->
+          let u = const_types a v u in
+          if is_range then { u with range = true } else { u with eq = true })
+    | Ast.Cmp_attrs (c, a, b) ->
+      touch a (fun u -> u);
+      touch b (fun u -> u);
+      (match c with
+       | Ast.Eq -> union (key a) (key b)
+       | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+         warn "non-equality attribute comparison %s: order across columns needs JOIN-OPE"
+           (Sqlir.Printer.pred_to_string p);
+         touch a (fun u -> { u with range = true });
+         touch b (fun u -> { u with range = true });
+         union (key a) (key b))
+    | Ast.Between (a, lo, hi) ->
+      touch a (fun u ->
+          let u = const_types a lo (const_types a hi u) in
+          { u with range = true })
+    | Ast.In_list (a, vs) ->
+      touch a (fun u ->
+          let u = List.fold_left (fun u v -> const_types a v u) u vs in
+          { u with eq = true })
+    | Ast.Like (a, _) -> touch a (fun u -> { u with like = true; string_consts = true })
+    | Ast.Is_null a | Ast.Is_not_null a -> touch a (fun u -> { u with null_check = true })
+    | Ast.Cmp_agg (_, fn, arg, v) ->
+      (match arg with
+       | None -> ()
+       | Some a ->
+         touch a (fun u ->
+             match fn with
+             | Ast.Count -> { u with agg_count = true }
+             | Ast.Sum | Ast.Avg ->
+               let u = const_types a v u in
+               { u with agg_sum = true }
+             | Ast.Min | Ast.Max ->
+               let u = const_types a v u in
+               { u with agg_minmax = true }))
+    | Ast.And (l, r) | Ast.Or (l, r) ->
+      walk_pred ~in_where q l;
+      walk_pred ~in_where q r
+    | Ast.Not p -> walk_pred ~in_where q p
+  in
+  let walk_query q =
+    List.iter
+      (function
+        | Ast.Star -> ()
+        | Ast.Sel_attr (a, _) -> touch a (fun u -> { u with select_plain = true })
+        | Ast.Sel_agg (fn, arg, _) ->
+          (match arg with
+           | None -> ()
+           | Some a ->
+             touch a (fun u ->
+                 match fn with
+                 | Ast.Count -> { u with agg_count = true }
+                 | Ast.Sum | Ast.Avg -> { u with agg_sum = true }
+                 | Ast.Min | Ast.Max -> { u with agg_minmax = true })))
+      q.Ast.select;
+    List.iter
+      (fun (j : Ast.join) ->
+        (* join equality is tracked through join classes, not the eq flag:
+           it involves no constants of either attribute *)
+        touch j.Ast.jleft (fun u -> u);
+        touch j.Ast.jright (fun u -> u);
+        union (key j.Ast.jleft) (key j.Ast.jright))
+      q.Ast.joins;
+    Option.iter (walk_pred ~in_where:true q) q.Ast.where;
+    Option.iter (walk_pred ~in_where:false q) q.Ast.having;
+    List.iter (fun a -> touch a (fun u -> { u with group = true })) q.Ast.group_by;
+    List.iter
+      (fun (a, _) ->
+        touch a (fun u ->
+            if q.Ast.limit <> None then { u with order = true; order_with_limit = true }
+            else { u with order = true }))
+      q.Ast.order_by
+  in
+  List.iter walk_query log;
+  let attrs =
+    Hashtbl.fold (fun k u acc -> (k, u) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  (* post-hoc warnings *)
+  List.iter
+    (fun (k, u) ->
+      if u.like then warn "attribute %s is used with LIKE" k;
+      if u.range && u.float_consts then
+        warn "attribute %s has float range constants (integer OPE cannot encrypt them)" k;
+      if u.range && u.string_consts then
+        warn "attribute %s has string range constants (OPE is numeric)" k)
+    attrs;
+  let roots = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun x _ ->
+      let r = find x in
+      Hashtbl.replace roots r (x :: Option.value ~default:[] (Hashtbl.find_opt roots r)))
+    parent;
+  let join_classes =
+    Hashtbl.fold (fun _ members acc ->
+        match List.sort_uniq String.compare members with
+        | [] | [ _ ] -> acc
+        | cls -> cls :: acc)
+      roots []
+    |> List.sort compare
+  in
+  let relations =
+    List.concat_map Ast.relations log |> List.sort_uniq String.compare
+  in
+  { attrs; join_classes; relations;
+    n_queries = List.length log; warnings = List.rev !warnings }
+
+let usage_of t k =
+  Option.value ~default:no_usage (List.assoc_opt k t.attrs)
+
+let join_class_of t k =
+  List.find_opt (fun cls -> List.mem k cls) t.join_classes
+
+let pp fmt t =
+  Format.fprintf fmt "log profile: %d queries, %d relations, %d attributes@."
+    t.n_queries (List.length t.relations) (List.length t.attrs);
+  List.iter
+    (fun (k, u) ->
+      let flags =
+        [ ("eq", u.eq); ("range", u.range); ("like", u.like);
+          ("null", u.null_check); ("group", u.group); ("order", u.order);
+          ("order+limit", u.order_with_limit); ("select", u.select_plain);
+          ("min/max", u.agg_minmax); ("sum/avg", u.agg_sum);
+          ("count", u.agg_count) ]
+        |> List.filter snd |> List.map fst
+      in
+      Format.fprintf fmt "  %-16s %s@." k (String.concat " " flags))
+    t.attrs;
+  List.iter
+    (fun cls -> Format.fprintf fmt "  join class: {%s}@." (String.concat ", " cls))
+    t.join_classes;
+  List.iter (fun w -> Format.fprintf fmt "  warning: %s@." w) t.warnings

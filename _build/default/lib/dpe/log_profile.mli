@@ -1,0 +1,47 @@
+(** Static analysis of a query log.
+
+    KIT-DPE step 3 needs to know, for every attribute, {e how} the log uses
+    it — equality tests, range predicates, ordering under LIMIT, grouping,
+    aggregation, projection — because the appropriate encryption class
+    (Definition 6) is the most secure class that still supports all of
+    those operations.  This module computes that usage profile, the join
+    classes (connected components of attribute-to-attribute equality), and
+    a list of warnings about constructs that constrain scheme selection. *)
+
+type usage = {
+  eq : bool;               (** [=], [<>], [IN] against constants *)
+  range : bool;            (** [<], [<=], [>], [>=], [BETWEEN] *)
+  like : bool;
+  null_check : bool;
+  group : bool;
+  order : bool;
+  order_with_limit : bool; (** ORDER BY this attribute in a LIMIT query *)
+  select_plain : bool;     (** projected outside any aggregate *)
+  agg_minmax : bool;
+  agg_sum : bool;          (** argument of SUM or AVG *)
+  agg_count : bool;
+  int_consts : bool;       (** integer constants compared against it *)
+  float_consts : bool;
+  string_consts : bool;
+}
+
+val no_usage : usage
+
+type t = {
+  attrs : (string * usage) list;  (** keyed by unqualified attribute name *)
+  join_classes : string list list;
+      (** connected components of equi-join / attribute-equality edges *)
+  relations : string list;
+  n_queries : int;
+  warnings : string list;
+}
+
+val of_log : Sqlir.Ast.query list -> t
+
+val usage_of : t -> string -> usage
+(** [no_usage] for attributes absent from the log. *)
+
+val join_class_of : t -> string -> string list option
+(** The join class containing the attribute, if it joins with others. *)
+
+val pp : Format.formatter -> t -> unit

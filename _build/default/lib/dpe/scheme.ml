@@ -1,0 +1,94 @@
+type const_class =
+  | C_prob
+  | C_det
+  | C_ope
+  | C_det_join of string
+  | C_ope_join of string
+  | C_hom
+[@@deriving show, eq]
+
+type attr_policy = {
+  cls : const_class;
+  reason : string;
+}
+
+type const_policy =
+  | Global of const_class
+  | Per_attribute of (string * attr_policy) list * const_class
+
+type t = {
+  measure : Distance.Measure.t;
+  equivalence : Equivalence.t;
+  enc_rel : Taxonomy.ppe_class;
+  enc_attr : Taxonomy.ppe_class;
+  consts : const_policy;
+  notes : string list;
+  warnings : string list;
+}
+
+let class_for_attr t name =
+  match t.consts with
+  | Global c -> c
+  | Per_attribute (assignments, default) ->
+    (match List.assoc_opt name assignments with
+     | Some { cls; _ } -> cls
+     | None -> default)
+
+let ppe_of_const_class = function
+  | C_prob -> Taxonomy.PROB
+  | C_det -> Taxonomy.DET
+  | C_ope -> Taxonomy.OPE
+  | C_det_join _ -> Taxonomy.JOIN
+  | C_ope_join _ -> Taxonomy.JOIN_OPE
+  | C_hom -> Taxonomy.HOM
+
+let const_class_to_string = function
+  | C_prob -> "PROB"
+  | C_det -> "DET"
+  | C_ope -> "OPE"
+  | C_det_join g -> "JOIN(" ^ g ^ ")"
+  | C_ope_join g -> "JOIN-OPE(" ^ g ^ ")"
+  | C_hom -> "HOM"
+
+let const_summary t =
+  match t.consts with
+  | Global c -> const_class_to_string c
+  | Per_attribute (assignments, _) ->
+    let classes = List.map (fun (_, p) -> p.cls) assignments in
+    let has c = List.exists (equal_const_class c) classes in
+    if has C_hom then "via CryptDB"
+    else if List.exists (function C_prob -> true | _ -> false) classes
+    then "via CryptDB, except HOM"
+    else "via CryptDB"
+
+let security_floor t =
+  let levels =
+    Taxonomy.security_level t.enc_rel
+    :: Taxonomy.security_level t.enc_attr
+    ::
+    (match t.consts with
+     | Global c -> [ Taxonomy.security_level (ppe_of_const_class c) ]
+     | Per_attribute (assignments, default) ->
+       Taxonomy.security_level (ppe_of_const_class default)
+       :: List.map
+            (fun (_, p) -> Taxonomy.security_level (ppe_of_const_class p.cls))
+            assignments)
+  in
+  List.fold_left min 5 levels
+
+let pp fmt t =
+  Format.fprintf fmt "DPE scheme for %s distance (%s)@."
+    (Distance.Measure.to_string t.measure)
+    (Equivalence.to_string t.equivalence);
+  Format.fprintf fmt "  EncRel  = %s@." (Taxonomy.to_string t.enc_rel);
+  Format.fprintf fmt "  EncAttr = %s@." (Taxonomy.to_string t.enc_attr);
+  (match t.consts with
+   | Global c -> Format.fprintf fmt "  EncConst = %s (global)@." (const_class_to_string c)
+   | Per_attribute (assignments, default) ->
+     Format.fprintf fmt "  EncConst (default %s):@." (const_class_to_string default);
+     List.iter
+       (fun (a, p) ->
+         Format.fprintf fmt "    %-16s %-14s %s@." a (const_class_to_string p.cls) p.reason)
+       assignments);
+  List.iter (fun n -> Format.fprintf fmt "  note: %s@." n) t.notes;
+  List.iter (fun w -> Format.fprintf fmt "  warning: %s@." w) t.warnings

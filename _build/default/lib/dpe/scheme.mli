@@ -1,0 +1,54 @@
+(** A concrete DPE scheme for one distance measure: the output of KIT-DPE
+    steps 1-3 and the input to the {!Encryptor}.
+
+    A scheme fixes the encryption class of the three slots of the
+    high-level scheme (EncRel, EncAttr, {EncA.Const : Attribute A}).
+    Constants are governed either by one {e global} class (token
+    equivalence needs a single token-level map so that the same token is
+    the same ciphertext regardless of which attribute it belongs to) or by
+    a {e per-attribute} policy in the CryptDB style. *)
+
+type const_class =
+  | C_prob
+  | C_det
+  | C_ope
+  | C_det_join of string  (** DET with the key of this join class *)
+  | C_ope_join of string  (** OPE with the key of this join class *)
+  | C_hom                 (** Paillier column for SUM/AVG (DB side only) *)
+[@@deriving show, eq]
+
+type attr_policy = {
+  cls : const_class;
+  reason : string;  (** why Definition 6 picked this class *)
+}
+
+type const_policy =
+  | Global of const_class
+  | Per_attribute of (string * attr_policy) list * const_class
+      (** assignments keyed by unqualified attribute name, plus the default
+          class for attributes not seen in the profiled log *)
+
+type t = {
+  measure : Distance.Measure.t;
+  equivalence : Equivalence.t;
+  enc_rel : Taxonomy.ppe_class;
+  enc_attr : Taxonomy.ppe_class;
+  consts : const_policy;
+  notes : string list;
+  warnings : string list;
+}
+
+val class_for_attr : t -> string -> const_class
+(** The constant class for an (unqualified) attribute name. *)
+
+val ppe_of_const_class : const_class -> Taxonomy.ppe_class
+
+val const_summary : t -> string
+(** Table I's "EncA.Const" cell: "DET", "PROB", "via CryptDB", or
+    "via CryptDB, except HOM". *)
+
+val security_floor : t -> int
+(** The weakest {!Taxonomy.security_level} used anywhere in the scheme —
+    the scheme's overall exposure. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,166 @@
+module M = Distance.Measure
+
+(* The class ladder for one attribute under execution-faithful (CryptDB
+   style) requirements.  We walk Fig. 1 top-down and stop at the first
+   class that supports everything the log does with the attribute —
+   that is exactly Definition 6. *)
+let cryptdb_policy ~(for_access_area : bool) (profile : Log_profile.t) name
+  : Scheme.attr_policy =
+  let u = Log_profile.usage_of profile name in
+  let joins = Log_profile.join_class_of profile name in
+  let join_group = Option.map Crypto.Join_enc.canonical_group joins in
+  let needs_order =
+    if for_access_area then
+      (* only WHERE predicates shape an access area: ORDER BY, LIMIT and
+         MIN/MAX never touch constants of this attribute *)
+      u.Log_profile.range
+    else
+      u.Log_profile.range || u.Log_profile.order_with_limit
+      || u.Log_profile.agg_minmax
+  in
+  let needs_equality =
+    if for_access_area then u.Log_profile.eq || u.Log_profile.like
+    else
+      u.Log_profile.eq || u.Log_profile.group || u.Log_profile.like
+      || u.Log_profile.select_plain
+  in
+  let in_join_class = join_group <> None in
+  if needs_order then
+    match join_group with
+    | Some g ->
+      { Scheme.cls = Scheme.C_ope_join g;
+        reason = "order comparisons across a join class" }
+    | None ->
+      { Scheme.cls = Scheme.C_ope;
+        reason =
+          (if u.Log_profile.range then "range predicates"
+           else if u.Log_profile.order_with_limit then "ORDER BY under LIMIT"
+           else "MIN/MAX aggregation") }
+  else if needs_equality || (in_join_class && not for_access_area) then
+    match join_group with
+    | Some g ->
+      { Scheme.cls = Scheme.C_det_join g; reason = "equi-joins across columns" }
+    | None ->
+      { Scheme.cls = Scheme.C_det;
+        reason =
+          (if u.Log_profile.eq then "equality predicates"
+           else if u.Log_profile.group then "grouping"
+           else if u.Log_profile.like then "LIKE pattern (equality of regions)"
+           else "appears in result tuples") }
+  else if u.Log_profile.agg_sum then
+    if for_access_area then
+      { Scheme.cls = Scheme.C_prob;
+        reason = "SELECT aggregates do not influence the access area (§IV-C)" }
+    else
+      { Scheme.cls = Scheme.C_hom; reason = "SUM/AVG aggregation over the column" }
+  else
+    { Scheme.cls = Scheme.C_prob; reason = "no comparisons needed" }
+
+let per_attribute_policies ~for_access_area profile =
+  List.map
+    (fun (name, _) -> (name, cryptdb_policy ~for_access_area profile name))
+    profile.Log_profile.attrs
+
+let select measure (profile : Log_profile.t) : Scheme.t =
+  let equivalence = Equivalence.of_measure measure in
+  let base_warnings = profile.Log_profile.warnings in
+  match measure with
+  | M.Token | M.Edit ->
+    { measure; equivalence;
+      enc_rel = Taxonomy.DET;
+      enc_attr = Taxonomy.DET;
+      consts = Scheme.Global Scheme.C_det;
+      notes =
+        ([ "one deterministic token map shared by relations, attributes and \
+            constants: the same plain token must become the same cipher token \
+            in every context, or token overlaps between queries would change" ]
+         @
+         if measure = M.Edit then
+           [ "token-level edit distance rides on the same token map: \
+              encryption rewrites the token sequence element-wise and \
+              injectively, so every edit script carries over unchanged" ]
+         else []);
+      warnings = base_warnings }
+  | M.Structure | M.Clause ->
+    { measure; equivalence;
+      enc_rel = Taxonomy.DET;
+      enc_attr = Taxonomy.DET;
+      consts = Scheme.Global Scheme.C_prob;
+      notes =
+        [ "features drop constants entirely, so constants take the most \
+           secure class of the taxonomy (PROB)" ];
+      warnings = base_warnings }
+  | M.Result ->
+    let warnings =
+      base_warnings
+      @ List.filter_map
+          (fun (name, u) ->
+            if u.Log_profile.like then
+              Some
+                (Printf.sprintf
+                   "LIKE on %s is not executable over DET ciphertexts; such \
+                    queries break result equivalence" name)
+            else if u.Log_profile.agg_sum then
+              Some
+                (Printf.sprintf
+                   "SUM/AVG over %s is evaluated homomorphically and needs a \
+                    client re-encryption round-trip (CryptDB style)" name)
+            else None)
+          profile.Log_profile.attrs
+    in
+    { measure; equivalence;
+      enc_rel = Taxonomy.DET;
+      enc_attr = Taxonomy.DET;
+      consts =
+        Scheme.Per_attribute
+          (per_attribute_policies ~for_access_area:false profile, Scheme.C_det);
+      notes =
+        [ "database content of every accessed attribute must be shared and \
+           encrypted with the same per-attribute schemes" ];
+      warnings }
+  | M.Access ->
+    { measure; equivalence;
+      enc_rel = Taxonomy.DET;
+      enc_attr = Taxonomy.DET;
+      consts =
+        Scheme.Per_attribute
+          (per_attribute_policies ~for_access_area:true profile, Scheme.C_det);
+      notes =
+        [ "attribute domains must be shared so the provider can interpret \
+           access areas";
+          "attributes appearing only inside SELECT aggregates are encrypted \
+           with PROB — more secure than CryptDB's HOM onion (§IV-C)" ];
+      warnings = base_warnings }
+
+let select_all profile = List.map (fun m -> select m profile) M.all
+
+let yes = "yes" and no = "no"
+
+let table1_row (s : Scheme.t) =
+  let m = s.Scheme.measure in
+  [ (match m with
+     | M.Token -> "Token-Based Query-String Distance"
+     | M.Structure -> "Query-Structure Distance"
+     | M.Result -> "Query-Result Distance"
+     | M.Access -> "Query-Access-Area Distance"
+     | M.Edit -> "Token-Level Edit Distance (extension)"
+     | M.Clause -> "Clause-Based OLAP Distance (extension)");
+    yes;
+    (if M.needs_db_content m then yes else no);
+    (if M.needs_domains m then yes else no);
+    Equivalence.to_string s.Scheme.equivalence;
+    Equivalence.characteristic_name s.Scheme.equivalence;
+    Taxonomy.to_string s.Scheme.enc_rel;
+    Taxonomy.to_string s.Scheme.enc_attr;
+    Scheme.const_summary s ]
+
+let expected_table1 () =
+  [ [ "Token-Based Query-String Distance"; yes; no; no;
+      "Token Equivalence"; "tokens"; "DET"; "DET"; "DET" ];
+    [ "Query-Structure Distance"; yes; no; no;
+      "Structural Equivalence"; "features"; "DET"; "DET"; "PROB" ];
+    [ "Query-Result Distance"; yes; yes; no;
+      "Result Equivalence"; "result tuples"; "DET"; "DET"; "via CryptDB" ];
+    [ "Query-Access-Area Distance"; yes; no; yes;
+      "Access-Area Equivalence"; "access_A"; "DET"; "DET";
+      "via CryptDB, except HOM" ] ]

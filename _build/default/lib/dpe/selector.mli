@@ -1,0 +1,27 @@
+(** KIT-DPE step 3: pick the {e appropriate} encryption class for every
+    slot of the high-level scheme (Definition 6) — the most secure class of
+    the Fig. 1 taxonomy that still ensures the equivalence notion of the
+    requested distance measure, given how the profiled log actually uses
+    each attribute.
+
+    The derivations reproduce Table I:
+    - token distance: DET / DET / DET (one global token map);
+    - structure distance: DET / DET / PROB (features drop constants);
+    - result distance: DET / DET / per-operation classes as CryptDB would
+      assign them (equality → DET or JOIN, order → OPE, SUM/AVG → HOM);
+    - access-area distance: like result, except attributes that occur only
+      inside SELECT aggregates need no comparable ciphertexts at all and
+      get PROB — strictly more secure than CryptDB's HOM onion (§IV-C). *)
+
+val select : Distance.Measure.t -> Log_profile.t -> Scheme.t
+
+val select_all : Log_profile.t -> Scheme.t list
+(** One scheme per measure, in {!Distance.Measure.all} order. *)
+
+val table1_row : Scheme.t -> string list
+(** The Table I row for a scheme: measure name, shared information flags,
+    equivalence notion, characteristic, EncRel, EncAttr, EncConst. *)
+
+val expected_table1 : unit -> string list list
+(** The rows exactly as printed in the paper — the reference the harness
+    diffs {!table1_row} output against. *)

@@ -1,0 +1,48 @@
+type ppe_class =
+  | PROB
+  | HOM
+  | DET
+  | JOIN
+  | OPE
+  | JOIN_OPE
+[@@deriving show, eq, ord]
+
+let all = [ PROB; HOM; DET; JOIN; OPE; JOIN_OPE ]
+
+let to_string = function
+  | PROB -> "PROB"
+  | HOM -> "HOM"
+  | DET -> "DET"
+  | JOIN -> "JOIN"
+  | OPE -> "OPE"
+  | JOIN_OPE -> "JOIN-OPE"
+
+let of_string = function
+  | "PROB" -> Some PROB
+  | "HOM" -> Some HOM
+  | "DET" -> Some DET
+  | "JOIN" -> Some JOIN
+  | "OPE" -> Some OPE
+  | "JOIN-OPE" -> Some JOIN_OPE
+  | _ -> None
+
+let security_level = function
+  | PROB | HOM -> 5
+  | DET -> 4
+  | JOIN -> 3
+  | OPE -> 2
+  | JOIN_OPE -> 1
+
+let strictly_more_secure a b = security_level a > security_level b
+let at_least_as_secure a b = security_level a >= security_level b
+
+let subclass_edges =
+  [ (HOM, PROB); (OPE, DET); (JOIN, DET); (JOIN_OPE, OPE); (JOIN_OPE, JOIN) ]
+
+let leakage = function
+  | PROB -> "nothing (semantically secure)"
+  | HOM -> "nothing per value; supports additive aggregation"
+  | DET -> "equality of values within one column"
+  | JOIN -> "equality of values across the columns of a join class"
+  | OPE -> "order (and equality) of values within one column"
+  | JOIN_OPE -> "order of values across the columns of a join class"

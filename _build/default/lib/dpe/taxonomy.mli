@@ -1,0 +1,38 @@
+(** The taxonomy of property-preserving encryption classes (Fig. 1).
+
+    Rows are security levels (higher is better); arrows are subclass or
+    usage-mode relations.  The interpretation follows the paper and
+    CryptDB [8]: PROB and HOM reveal nothing per value; DET additionally
+    reveals within-column equality; JOIN reveals equality across the
+    columns of a join class; OPE additionally reveals order; JOIN-OPE
+    reveals order across columns. *)
+
+type ppe_class =
+  | PROB
+  | HOM
+  | DET
+  | JOIN
+  | OPE
+  | JOIN_OPE
+[@@deriving show, eq, ord]
+
+val all : ppe_class list
+
+val to_string : ppe_class -> string
+val of_string : string -> ppe_class option
+
+val security_level : ppe_class -> int
+(** Fig. 1 row, from 1 (JOIN-OPE, least secure) to 5 (PROB and HOM).
+    Classes on the same row are not comparable. *)
+
+val strictly_more_secure : ppe_class -> ppe_class -> bool
+(** [strictly_more_secure a b] iff [a]'s row is strictly above [b]'s. *)
+
+val at_least_as_secure : ppe_class -> ppe_class -> bool
+
+val subclass_edges : (ppe_class * ppe_class) list
+(** Fig. 1 arrows [(sub, super)]: HOM ⊂ PROB, OPE ⊂ DET, and the JOIN
+    usage modes of DET and OPE. *)
+
+val leakage : ppe_class -> string
+(** One-line description of what a ciphertext of this class reveals. *)

@@ -1,0 +1,1 @@
+lib/minidb/csvio.pp.ml: Array Buffer Database Filename List Printf Schema String Sys Table Value

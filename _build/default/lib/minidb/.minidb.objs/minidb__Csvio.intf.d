@@ -1,0 +1,1 @@
+lib/minidb/csvio.pp.mli: Database Table

@@ -1,0 +1,1 @@
+lib/minidb/database.pp.ml: Hashtbl Index List Map Printf Schema String Table

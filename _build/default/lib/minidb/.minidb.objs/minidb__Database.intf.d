@@ -1,0 +1,1 @@
+lib/minidb/database.pp.mli: Index Table

@@ -1,0 +1,1 @@
+lib/minidb/executor.pp.ml: Array Database Hashtbl Index List Option Printf Schema Seq Sqlir String Table Value

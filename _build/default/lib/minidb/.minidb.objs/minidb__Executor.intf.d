@@ -1,0 +1,1 @@
+lib/minidb/executor.pp.mli: Database Sqlir Value

@@ -1,0 +1,1 @@
+lib/minidb/index.pp.ml: Array Hashtbl List Option Schema Table Value

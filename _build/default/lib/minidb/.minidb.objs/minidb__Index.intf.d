@@ -1,0 +1,1 @@
+lib/minidb/index.pp.mli: Table Value

@@ -1,0 +1,1 @@
+lib/minidb/schema.pp.ml: List Option Ppx_deriving_runtime String Value

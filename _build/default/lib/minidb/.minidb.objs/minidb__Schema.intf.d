@@ -1,0 +1,1 @@
+lib/minidb/schema.pp.mli: Ppx_deriving_runtime Value

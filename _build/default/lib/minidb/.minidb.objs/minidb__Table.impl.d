@@ -1,0 +1,1 @@
+lib/minidb/table.pp.ml: Array List Printf Schema Value

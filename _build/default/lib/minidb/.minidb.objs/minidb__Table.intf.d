@@ -1,0 +1,1 @@
+lib/minidb/table.pp.mli: Schema Value

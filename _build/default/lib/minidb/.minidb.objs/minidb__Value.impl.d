@@ -1,0 +1,1 @@
+lib/minidb/value.pp.ml: Hashtbl Ppx_deriving_runtime Printf Sqlir Stdlib String

@@ -1,0 +1,1 @@
+lib/minidb/value.pp.mli: Ppx_deriving_runtime Sqlir

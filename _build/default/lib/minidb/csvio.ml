@@ -1,0 +1,232 @@
+(* strings are always quoted: an unquoted NULL cell is SQL null, and
+   quoting everything else keeps the distinction unambiguous *)
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let cell_of_value = function
+  | Value.Vnull -> "NULL"
+  | Value.Vint n -> string_of_int n
+  | Value.Vfloat f -> Printf.sprintf "%h" f (* lossless hex float *)
+  | Value.Vstring s -> quote s
+
+let ty_to_string = function
+  | Value.Tint -> "int"
+  | Value.Tfloat -> "float"
+  | Value.Tstring -> "string"
+
+let ty_of_string = function
+  | "int" -> Some Value.Tint
+  | "float" -> Some Value.Tfloat
+  | "string" -> Some Value.Tstring
+  | _ -> None
+
+let table_to_string table =
+  let schema = Table.schema table in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (String.concat ","
+       (List.map
+          (fun (c : Schema.column) ->
+            quote (c.Schema.name ^ ":" ^ ty_to_string c.Schema.ty))
+          schema.Schema.columns));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "," (Array.to_list (Array.map cell_of_value row)));
+      Buffer.add_char buf '\n')
+    (Table.rows table);
+  Buffer.contents buf
+
+(* a small CSV reader: returns rows of (cell, was_quoted) *)
+let parse_csv (input : string) : ((string * bool) list list, string) result =
+  let n = String.length input in
+  let rows = ref [] and fields = ref [] in
+  let buf = Buffer.create 32 in
+  let quoted = ref false in
+  let had_quote = ref false in
+  let error = ref None in
+  let flush_field () =
+    fields := (Buffer.contents buf, !had_quote) :: !fields;
+    Buffer.clear buf;
+    had_quote := false
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let i = ref 0 in
+  while !i < n && !error = None do
+    let c = input.[!i] in
+    if !quoted then begin
+      if c = '"' then
+        if !i + 1 < n && input.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          incr i
+        end
+        else quoted := false
+      else Buffer.add_char buf c
+    end
+    else begin
+      match c with
+      | '"' ->
+        if Buffer.length buf > 0 then error := Some "quote inside unquoted field"
+        else begin
+          quoted := true;
+          had_quote := true
+        end
+      | ',' -> flush_field ()
+      | '\n' -> flush_row ()
+      | '\r' -> () (* tolerate CRLF *)
+      | c -> Buffer.add_char buf c
+    end;
+    incr i
+  done;
+  match !error with
+  | Some e -> Error e
+  | None ->
+    if !quoted then Error "unterminated quoted field"
+    else begin
+      if Buffer.length buf > 0 || !fields <> [] then flush_row ();
+      Ok (List.rev !rows)
+    end
+
+let value_of_cell (ty : Value.ty) (cell, was_quoted) =
+  if (not was_quoted) && cell = "NULL" then Ok Value.Vnull
+  else
+    match ty with
+    | Value.Tstring -> Ok (Value.Vstring cell)
+    | Value.Tint ->
+      (match int_of_string_opt cell with
+       | Some n -> Ok (Value.Vint n)
+       | None -> Error (Printf.sprintf "not an int: %S" cell))
+    | Value.Tfloat ->
+      (match float_of_string_opt cell with
+       | Some f -> Ok (Value.Vfloat f)
+       | None -> Error (Printf.sprintf "not a float: %S" cell))
+
+let table_of_string ~rel input =
+  match parse_csv input with
+  | Error e -> Error ("csv: " ^ e)
+  | Ok [] -> Error "csv: missing header"
+  | Ok (header :: body) ->
+    let parse_col (cell, _) =
+      match String.rindex_opt cell ':' with
+      | None -> Error (Printf.sprintf "header cell %S lacks a type" cell)
+      | Some i ->
+        let name = String.sub cell 0 i in
+        let ty_str = String.sub cell (i + 1) (String.length cell - i - 1) in
+        (match ty_of_string ty_str with
+         | Some ty -> Ok (name, ty)
+         | None -> Error (Printf.sprintf "unknown type %S" ty_str))
+    in
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | c :: rest ->
+        (match parse_col c with
+         | Ok col -> collect (col :: acc) rest
+         | Error e -> Error e)
+    in
+    (match collect [] header with
+     | Error e -> Error e
+     | Ok cols ->
+       (match Schema.make ~rel cols with
+        | schema ->
+          let types = List.map snd cols in
+          let parse_row cells =
+            if List.length cells <> List.length types then
+              Error
+                (Printf.sprintf "row arity %d, expected %d" (List.length cells)
+                   (List.length types))
+            else begin
+              let rec go acc ts cs =
+                match ts, cs with
+                | [], [] -> Ok (Array.of_list (List.rev acc))
+                | t :: ts, c :: cs ->
+                  (match value_of_cell t c with
+                   | Ok v -> go (v :: acc) ts cs
+                   | Error e -> Error e)
+                | _ -> assert false
+              in
+              go [] types cells
+            end
+          in
+          let rec rows acc = function
+            | [] -> Ok (List.rev acc)
+            | r :: rest ->
+              (match parse_row r with
+               | Ok row -> rows (row :: acc) rest
+               | Error e -> Error e)
+          in
+          (match rows [] body with
+           | Ok rs -> Ok (Table.of_rows schema rs)
+           | Error e -> Error e)
+        | exception Invalid_argument e -> Error e))
+
+let write_file path content =
+  match open_out path with
+  | oc ->
+    output_string oc content;
+    close_out oc;
+    Ok ()
+  | exception Sys_error e -> Error e
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  | exception Sys_error e -> Error e
+
+let write_table path table = write_file path (table_to_string table)
+
+let read_table ~rel path =
+  match read_file path with
+  | Error e -> Error e
+  | Ok content -> table_of_string ~rel content
+
+let write_database ~dir db =
+  (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 with
+   | Sys_error _ -> ());
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | table :: rest ->
+      let rel = (Table.schema table).Schema.rel in
+      let file = rel ^ ".csv" in
+      (match write_table (Filename.concat dir file) table with
+       | Ok () -> go (file :: acc) rest
+       | Error e -> Error e)
+  in
+  go [] (Database.tables db)
+
+let read_database ~dir =
+  match Sys.readdir dir with
+  | files ->
+    let csvs =
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".csv")
+      |> List.sort String.compare
+    in
+    let rec go db = function
+      | [] -> Ok db
+      | f :: rest ->
+        let rel = Filename.chop_suffix f ".csv" in
+        (match read_table ~rel (Filename.concat dir f) with
+         | Ok table ->
+           (match Database.add_table db table with
+            | db -> go db rest
+            | exception Invalid_argument e -> Error e)
+         | Error e -> Error (f ^ ": " ^ e))
+    in
+    go Database.empty csvs
+  | exception Sys_error e -> Error e

@@ -1,0 +1,24 @@
+(** CSV serialization of tables and databases — the wire format for
+    shipping (encrypted) database content to the service provider.
+
+    Dialect: RFC-4180-style quoting; the header row carries typed column
+    declarations ([name:int], [name:float], [name:string]); a bare
+    unquoted [NULL] cell is SQL null, while the quoted string ["NULL"]
+    stays a string.  Round-trips exactly (tested by property). *)
+
+val table_to_string : Table.t -> string
+
+val table_of_string : rel:string -> string -> (Table.t, string) result
+(** Parse one table. The relation name is external to the format. *)
+
+val write_table : string -> Table.t -> (unit, string) result
+(** [write_table path table] writes one CSV file. *)
+
+val read_table : rel:string -> string -> (Table.t, string) result
+
+val write_database : dir:string -> Database.t -> (string list, string) result
+(** One [<relation>.csv] per table inside [dir] (created if missing);
+    returns the file names written. *)
+
+val read_database : dir:string -> (Database.t, string) result
+(** Load every [*.csv] in [dir]; the file stem is the relation name. *)

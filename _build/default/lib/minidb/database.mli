@@ -1,0 +1,31 @@
+(** A named collection of {!Table}s. *)
+
+type t
+
+val empty : t
+val add_table : t -> Table.t -> t
+(** @raise Invalid_argument if a relation with the same name exists. *)
+
+val find : t -> string -> Table.t option
+val find_exn : t -> string -> Table.t
+(** @raise Not_found *)
+
+val relations : t -> string list
+(** Sorted relation names. *)
+
+val tables : t -> Table.t list
+
+val total_rows : t -> int
+
+val map_tables : (Table.t -> Table.t) -> t -> t
+(** Rewrite every table (the encrypted database is produced this way).
+    Indexes are dropped (they describe the old rows). *)
+
+(** {1 Indexes} *)
+
+val with_index : t -> rel:string -> col:string -> t
+(** Build and attach a hash index ({!Index}).  The executor uses attached
+    indexes as prefilters for equality predicates; semantics never change.
+    @raise Not_found if the relation or column does not exist. *)
+
+val find_index : t -> rel:string -> col:string -> Index.t option

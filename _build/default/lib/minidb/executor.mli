@@ -1,0 +1,39 @@
+(** SELECT-query evaluation over a {!Database}.
+
+    Implements the full subset of {!Sqlir.Ast}: cartesian FROM lists,
+    equi-joins, three-valued WHERE logic, grouping with aggregates, HAVING,
+    DISTINCT, ORDER BY and LIMIT.
+
+    The executor is oblivious to encryption: running the encrypted query on
+    the encrypted database uses exactly this code path, because OPE
+    ciphertexts compare like the integers they are and DET ciphertexts are
+    equality-comparable strings. *)
+
+type error =
+  | Unknown_relation of string
+  | Unknown_attribute of string
+  | Ambiguous_attribute of string
+  | Type_error of string
+  | Unsupported of string
+
+exception Exec_error of error
+
+val error_to_string : error -> string
+
+type provenance =
+  | Pattr of string * string
+      (** output column copied from (relation, column) *)
+  | Pagg of Sqlir.Ast.agg_fn * (string * string) option
+      (** aggregate output over an optional (relation, column) *)
+
+type result = {
+  columns : string list;       (** output column labels *)
+  provenance : provenance list;
+  tuples : Value.t list list;  (** in output order *)
+}
+
+val run : Database.t -> Sqlir.Ast.query -> result
+(** @raise Exec_error on invalid queries (unknown names, type errors). *)
+
+val result_tuple_set : result -> Value.t list list
+(** Deduplicated, sorted tuple set — the [result tuples(Q)] of Definition 4. *)

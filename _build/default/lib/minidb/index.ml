@@ -1,0 +1,32 @@
+(* ints and floats must share a key, as in the executor's hash join *)
+let key = function
+  | Value.Vint n -> Value.Vfloat (float_of_int n)
+  | v -> v
+
+type t = {
+  column : string;
+  table : (Value.t, Value.t array list) Hashtbl.t;
+}
+
+let build table col =
+  match Schema.index_of (Table.schema table) col with
+  | None -> raise Not_found
+  | Some i ->
+    let tbl = Hashtbl.create (Table.cardinality table) in
+    List.iter
+      (fun row ->
+        let v = row.(i) in
+        if not (Value.is_null v) then
+          Hashtbl.replace tbl (key v)
+            (row :: Option.value ~default:[] (Hashtbl.find_opt tbl (key v))))
+      (Table.rows table);
+    (* restore insertion order per key *)
+    Hashtbl.filter_map_inplace (fun _ rows -> Some (List.rev rows)) tbl;
+    { column = col; table = tbl }
+
+let column t = t.column
+let cardinality t = Hashtbl.length t.table
+
+let lookup t v =
+  if Value.is_null v then []
+  else Option.value ~default:[] (Hashtbl.find_opt t.table (key v))

@@ -1,0 +1,22 @@
+(** Hash indexes over single columns.
+
+    An index is a pure accelerator: the executor uses it as a prefilter
+    for top-level equality predicates and then re-applies the full WHERE
+    clause, so query semantics never depend on which indexes exist.
+    Encrypted databases index exactly as well as plaintext ones — DET
+    ciphertexts are ordinary hashable strings — which keeps the provider's
+    query cost symmetric with the owner's. *)
+
+type t
+
+val build : Table.t -> string -> t
+(** [build table col] indexes the named column.
+    @raise Not_found if the column does not exist. *)
+
+val column : t -> string
+val cardinality : t -> int
+(** Number of distinct non-null keys. *)
+
+val lookup : t -> Value.t -> Value.t array list
+(** Rows whose column equals the probe (SQL equality: ints and floats
+    compare numerically); never returns rows for a null probe. *)

@@ -1,0 +1,24 @@
+type column = { name : string; ty : Value.ty } [@@deriving show, eq]
+
+type t = { rel : string; columns : column list } [@@deriving show, eq]
+
+let make ~rel cols =
+  let names = List.map fst cols in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Schema.make: duplicate column names";
+  { rel; columns = List.map (fun (name, ty) -> { name; ty }) cols }
+
+let arity t = List.length t.columns
+
+let index_of t name =
+  let rec go i = function
+    | [] -> None
+    | c :: _ when c.name = name -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.columns
+
+let column_names t = List.map (fun c -> c.name) t.columns
+
+let column_type t name =
+  List.find_opt (fun c -> c.name = name) t.columns |> Option.map (fun c -> c.ty)

@@ -1,0 +1,13 @@
+(** Relation schemas. *)
+
+type column = { name : string; ty : Value.ty } [@@deriving show, eq]
+
+type t = { rel : string; columns : column list } [@@deriving show, eq]
+
+val make : rel:string -> (string * Value.ty) list -> t
+(** @raise Invalid_argument on duplicate column names. *)
+
+val arity : t -> int
+val index_of : t -> string -> int option
+val column_names : t -> string list
+val column_type : t -> string -> Value.ty option

@@ -1,0 +1,32 @@
+type t = { schema : Schema.t; rows : Value.t array list }
+
+let check_arity schema row =
+  if Array.length row <> Schema.arity schema then
+    invalid_arg
+      (Printf.sprintf "Table: row arity %d does not match schema %s (%d)"
+         (Array.length row) schema.Schema.rel (Schema.arity schema))
+
+let create schema = { schema; rows = [] }
+
+let of_rows schema rows =
+  List.iter (check_arity schema) rows;
+  { schema; rows }
+
+let schema t = t.schema
+let rows t = t.rows
+
+let insert t row =
+  check_arity t.schema row;
+  { t with rows = t.rows @ [ row ] }
+
+let cardinality t = List.length t.rows
+
+let column_values t name =
+  match Schema.index_of t.schema name with
+  | None -> raise Not_found
+  | Some i -> List.map (fun row -> row.(i)) t.rows
+
+let map_rows f schema' t =
+  let rows = List.map f t.rows in
+  List.iter (check_arity schema') rows;
+  { schema = schema'; rows }

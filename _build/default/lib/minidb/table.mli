@@ -1,0 +1,24 @@
+(** An in-memory relation: a schema plus its rows. *)
+
+type t
+
+val create : Schema.t -> t
+val of_rows : Schema.t -> Value.t array list -> t
+(** @raise Invalid_argument if a row's arity does not match the schema. *)
+
+val schema : t -> Schema.t
+val rows : t -> Value.t array list
+(** Rows in insertion order. *)
+
+val insert : t -> Value.t array -> t
+(** Functional insert. @raise Invalid_argument on arity mismatch. *)
+
+val cardinality : t -> int
+
+val column_values : t -> string -> Value.t list
+(** All values of the named column (with duplicates).
+    @raise Not_found if the column does not exist. *)
+
+val map_rows : (Value.t array -> Value.t array) -> Schema.t -> t -> t
+(** [map_rows f schema' t] rewrites every row and installs [schema'] —
+    the primitive under database encryption. *)

@@ -1,0 +1,1 @@
+lib/mining/apriori.ml: Hashtbl List Option Set String

@@ -1,0 +1,1 @@
+lib/mining/dbscan.ml: Array Dist_matrix List Queue

@@ -1,0 +1,1 @@
+lib/mining/dbscan.mli: Dist_matrix

@@ -1,0 +1,1 @@
+lib/mining/dist_matrix.ml: Array Float Printf

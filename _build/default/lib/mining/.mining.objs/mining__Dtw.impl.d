@@ -1,0 +1,1 @@
+lib/mining/dtw.ml: Array Float

@@ -1,0 +1,1 @@
+lib/mining/hier.ml: Array Dist_matrix Float List

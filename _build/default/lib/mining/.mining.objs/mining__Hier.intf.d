@@ -1,0 +1,1 @@
+lib/mining/hier.mli: Dist_matrix

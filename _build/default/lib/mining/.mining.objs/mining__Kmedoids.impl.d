@@ -1,0 +1,1 @@
+lib/mining/kmedoids.ml: Array Dist_matrix Float Fun List

@@ -1,0 +1,1 @@
+lib/mining/kmedoids.mli: Dist_matrix

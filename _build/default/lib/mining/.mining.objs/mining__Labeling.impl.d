@@ -1,0 +1,1 @@
+lib/mining/labeling.ml: Array Hashtbl List Option

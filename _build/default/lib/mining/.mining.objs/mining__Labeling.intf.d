@@ -1,0 +1,1 @@
+lib/mining/labeling.mli:

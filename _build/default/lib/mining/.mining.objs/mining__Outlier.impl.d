@@ -1,0 +1,1 @@
+lib/mining/outlier.ml: Array Dist_matrix List

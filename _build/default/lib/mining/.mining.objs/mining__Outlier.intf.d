@@ -1,0 +1,1 @@
+lib/mining/outlier.mli: Dist_matrix

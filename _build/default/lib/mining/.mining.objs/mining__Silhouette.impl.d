@@ -1,0 +1,1 @@
+lib/mining/silhouette.ml: Array Dist_matrix Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/mining/silhouette.mli: Dist_matrix

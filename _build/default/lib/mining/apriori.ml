@@ -1,0 +1,154 @@
+type itemset = string list
+
+type rule = {
+  antecedent : itemset;
+  consequent : itemset;
+  support : float;
+  confidence : float;
+}
+
+type params = {
+  min_support : float;
+  min_confidence : float;
+  max_size : int;
+}
+
+module SS = Set.Make (String)
+
+let normalize t = List.sort_uniq String.compare t
+
+let support_count transactions itemset =
+  let set = SS.of_list itemset in
+  List.length
+    (List.filter (fun t -> SS.subset set (SS.of_list t)) transactions)
+
+(* candidate generation: join two frequent k-itemsets sharing a (k-1)-prefix *)
+let candidates frequent_k =
+  let rec join = function
+    | [] -> []
+    | a :: rest ->
+      List.filter_map
+        (fun b ->
+          let rec prefix_merge xs ys =
+            match xs, ys with
+            | [ x ], [ y ] when x < y -> Some [ x; y ]
+            | x :: xs', y :: ys' when x = y ->
+              Option.map (fun tl -> x :: tl) (prefix_merge xs' ys')
+            | _ -> None
+          in
+          prefix_merge a b)
+        rest
+      @ join rest
+  in
+  let cands = join frequent_k in
+  (* prune: every (k-1)-subset must itself be frequent *)
+  let freq_set = List.map (fun i -> String.concat "\x00" i) frequent_k in
+  let is_frequent sub = List.mem (String.concat "\x00" sub) freq_set in
+  List.filter
+    (fun c ->
+      let rec subsets_dropping_one prefix = function
+        | [] -> []
+        | x :: rest ->
+          (List.rev_append prefix rest) :: subsets_dropping_one (x :: prefix) rest
+      in
+      List.for_all
+        (fun sub -> is_frequent (List.sort String.compare sub))
+        (subsets_dropping_one [] c))
+    cands
+
+let frequent_itemsets params transactions =
+  if transactions = [] then invalid_arg "Apriori: empty transaction list";
+  if not (params.min_support > 0.0 && params.min_support <= 1.0) then
+    invalid_arg "Apriori: min_support must be in (0,1]";
+  if params.max_size < 1 then invalid_arg "Apriori: max_size >= 1";
+  let transactions = List.map normalize transactions in
+  let n = float_of_int (List.length transactions) in
+  let min_count = params.min_support *. n in
+  let supp itemset = float_of_int (support_count transactions itemset) /. n in
+  (* L1 *)
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun i ->
+          Hashtbl.replace counts i
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts i)))
+        t)
+    transactions;
+  let l1 =
+    Hashtbl.fold
+      (fun i c acc -> if float_of_int c >= min_count then [ i ] :: acc else acc)
+      counts []
+    |> List.sort compare
+  in
+  let rec grow k frequent acc =
+    if k > params.max_size || frequent = [] then List.rev acc
+    else begin
+      let next =
+        candidates frequent
+        |> List.filter (fun c ->
+               float_of_int (support_count transactions c) >= min_count)
+        |> List.sort compare
+      in
+      grow (k + 1) next (List.rev_append next acc)
+    end
+  in
+  let all = List.rev_append (List.rev l1) [] in
+  let all = grow 2 l1 all in
+  List.map (fun i -> (i, supp i)) all
+  |> List.sort (fun (a, _) (b, _) ->
+         compare (List.length a, a) (List.length b, b))
+
+let rules params transactions =
+  if not (params.min_confidence > 0.0 && params.min_confidence <= 1.0) then
+    invalid_arg "Apriori: min_confidence must be in (0,1]";
+  let frequent = frequent_itemsets params transactions in
+  let supp_tbl = Hashtbl.create 64 in
+  List.iter (fun (i, s) -> Hashtbl.add supp_tbl i s) frequent;
+  let supp i =
+    match Hashtbl.find_opt supp_tbl i with
+    | Some s -> s
+    | None ->
+      (* subsets of frequent itemsets are frequent; this is only reached
+         for antecedents, which are such subsets *)
+      let transactions = List.map normalize transactions in
+      float_of_int (support_count transactions i)
+      /. float_of_int (List.length transactions)
+  in
+  (* all non-empty proper subsets as antecedents *)
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let rs = subsets rest in
+      rs @ List.map (fun s -> x :: s) rs
+  in
+  List.concat_map
+    (fun (itemset, s) ->
+      if List.length itemset < 2 then []
+      else
+        List.filter_map
+          (fun ante ->
+            if ante = [] || List.length ante = List.length itemset then None
+            else begin
+              let ante = List.sort String.compare ante in
+              let cons =
+                List.filter (fun i -> not (List.mem i ante)) itemset
+              in
+              let confidence = s /. supp ante in
+              if confidence >= params.min_confidence then
+                Some { antecedent = ante; consequent = cons;
+                       support = s; confidence }
+              else None
+            end)
+          (subsets itemset))
+    frequent
+  |> List.sort compare
+
+let map_items f rule =
+  { rule with
+    antecedent = List.sort String.compare (List.map f rule.antecedent);
+    consequent = List.sort String.compare (List.map f rule.consequent) }
+
+let equal_rule_sets a b =
+  let key r = (r.antecedent, r.consequent, r.support, r.confidence) in
+  List.sort compare (List.map key a) = List.sort compare (List.map key b)

@@ -1,0 +1,41 @@
+(** Apriori frequent-itemset and association-rule mining (Agrawal-Srikant
+    style), over string items.
+
+    The paper's §V points out that result equivalence also enables
+    association-rule mining over encrypted SQL logs [17]: transactions
+    built from encrypted tokens/result tuples are item-wise injective
+    images of the plaintext transactions, so supports and confidences are
+    identical and the mined rules map 1:1.  The integration tests verify
+    exactly that. *)
+
+type itemset = string list
+(** Sorted, duplicate-free. *)
+
+type rule = {
+  antecedent : itemset;
+  consequent : itemset;
+  support : float;     (** of antecedent ∪ consequent *)
+  confidence : float;
+}
+
+type params = {
+  min_support : float;     (** in (0, 1] *)
+  min_confidence : float;  (** in (0, 1] *)
+  max_size : int;          (** largest itemset size explored *)
+}
+
+val frequent_itemsets : params -> string list list -> (itemset * float) list
+(** All itemsets with support >= [min_support], with their supports,
+    ordered by (size, lexicographic) — deterministic.
+    @raise Invalid_argument on empty input or bad parameters. *)
+
+val rules : params -> string list list -> rule list
+(** Association rules from the frequent itemsets, deterministic order. *)
+
+val map_items : (string -> string) -> rule -> rule
+(** Apply an item renaming to both sides of a rule (re-sorting under the
+    new order) — what encryption does to a rule. *)
+
+val equal_rule_sets : rule list -> rule list -> bool
+(** Set equality of rules (item order within sets is irrelevant), with
+    supports and confidences compared exactly. *)

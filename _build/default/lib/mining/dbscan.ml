@@ -1,0 +1,39 @@
+type params = { eps : float; min_pts : int }
+
+let neighbors m eps i =
+  let n = Dist_matrix.size m in
+  let acc = ref [] in
+  for j = n - 1 downto 0 do
+    if j <> i && Dist_matrix.get m i j <= eps then acc := j :: !acc
+  done;
+  !acc
+
+let run { eps; min_pts } m =
+  let n = Dist_matrix.size m in
+  let labels = Array.make n (-2) in
+  (* -2 unvisited, -1 noise, >= 0 cluster id *)
+  let cluster = ref (-1) in
+  for i = 0 to n - 1 do
+    if labels.(i) = -2 then begin
+      let nbrs = neighbors m eps i in
+      if List.length nbrs + 1 < min_pts then labels.(i) <- -1
+      else begin
+        incr cluster;
+        labels.(i) <- !cluster;
+        (* expand the cluster with a work queue *)
+        let queue = Queue.create () in
+        List.iter (fun j -> Queue.add j queue) nbrs;
+        while not (Queue.is_empty queue) do
+          let j = Queue.pop queue in
+          if labels.(j) = -1 then labels.(j) <- !cluster (* border point *)
+          else if labels.(j) = -2 then begin
+            labels.(j) <- !cluster;
+            let nbrs_j = neighbors m eps j in
+            if List.length nbrs_j + 1 >= min_pts then
+              List.iter (fun k -> Queue.add k queue) nbrs_j
+          end
+        done
+      end
+    end
+  done;
+  labels

@@ -1,0 +1,9 @@
+(** DBSCAN density-based clustering (Ester et al. [4]) over a distance
+    matrix. *)
+
+type params = { eps : float; min_pts : int }
+
+val run : params -> Dist_matrix.t -> int array
+(** Labels per point: cluster ids from 0 upward, [-1] for noise.  Cluster
+    ids are assigned in scan order, so equal distance matrices give equal
+    label arrays (not merely equal partitions). *)

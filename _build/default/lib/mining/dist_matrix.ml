@@ -1,0 +1,47 @@
+type t = float array array
+
+let of_fun n d =
+  let m = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let v = d i j in
+      m.(i).(j) <- v;
+      m.(j).(i) <- v
+    done
+  done;
+  m
+
+let size (m : t) = Array.length m
+let get (m : t) i j = m.(i).(j)
+
+let validate m =
+  let n = size m in
+  let problem = ref None in
+  let set p = if !problem = None then problem := Some p in
+  Array.iteri
+    (fun i row -> if Array.length row <> n then
+        set (Printf.sprintf "row %d has length %d, expected %d" i (Array.length row) n))
+    m;
+  if !problem = None then begin
+    for i = 0 to n - 1 do
+      if m.(i).(i) <> 0.0 then set (Printf.sprintf "diagonal (%d,%d) is %g" i i m.(i).(i));
+      for j = i + 1 to n - 1 do
+        if m.(i).(j) <> m.(j).(i) then
+          set (Printf.sprintf "asymmetry at (%d,%d)" i j);
+        if m.(i).(j) < 0.0 then set (Printf.sprintf "negative distance at (%d,%d)" i j)
+      done
+    done
+  end;
+  match !problem with None -> Ok () | Some p -> Error p
+
+let max_abs_diff a b =
+  let n = size a in
+  if size b <> n then invalid_arg "Dist_matrix.max_abs_diff: size mismatch";
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let d = Float.abs (a.(i).(j) -. b.(i).(j)) in
+      if d > !worst then worst := d
+    done
+  done;
+  !worst

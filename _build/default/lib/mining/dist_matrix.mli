@@ -1,0 +1,17 @@
+(** Symmetric pairwise distance matrices — the only input the distance-based
+    mining algorithms ([3] [4] [5] [6]) ever see, which is precisely why
+    distance-preserving encryption preserves their output. *)
+
+type t = float array array
+
+val of_fun : int -> (int -> int -> float) -> t
+(** [of_fun n d] evaluates [d i j] for [i < j] and mirrors it. *)
+
+val size : t -> int
+val get : t -> int -> int -> float
+
+val validate : t -> (unit, string) result
+(** Checks squareness, zero diagonal, symmetry and non-negativity. *)
+
+val max_abs_diff : t -> t -> float
+(** Largest entrywise deviation between two matrices of the same size. *)

@@ -1,0 +1,44 @@
+let table ~cost a b =
+  let n = Array.length a and m = Array.length b in
+  let d = Array.make_matrix (n + 1) (m + 1) infinity in
+  d.(0).(0) <- 0.0;
+  for i = 1 to n do
+    for j = 1 to m do
+      let c = cost a.(i - 1) b.(j - 1) in
+      d.(i).(j) <-
+        c +. Float.min d.(i - 1).(j - 1) (Float.min d.(i - 1).(j) d.(i).(j - 1))
+    done
+  done;
+  d
+
+let distance ~cost a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 && m = 0 then 0.0
+  else if n = 0 || m = 0 then infinity
+  else (table ~cost a b).(n).(m)
+
+let normalized ~cost a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 && m = 0 then 0.0
+  else if n = 0 || m = 0 then infinity
+  else distance ~cost a b /. float_of_int (n + m)
+
+let path ~cost a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then []
+  else begin
+    let d = table ~cost a b in
+    let rec walk i j acc =
+      let acc = (i - 1, j - 1) :: acc in
+      if i = 1 && j = 1 then acc
+      else begin
+        let diag = if i > 1 && j > 1 then d.(i - 1).(j - 1) else infinity in
+        let up = if i > 1 then d.(i - 1).(j) else infinity in
+        let left = if j > 1 then d.(i).(j - 1) else infinity in
+        if diag <= up && diag <= left then walk (i - 1) (j - 1) acc
+        else if up <= left then walk (i - 1) j acc
+        else walk i (j - 1) acc
+      end
+    in
+    walk n m []
+  end

@@ -1,0 +1,22 @@
+(** Dynamic time warping over sequences, with a pluggable element cost —
+    the standard way to compare query {e sessions} (ordered sequences of
+    queries) rather than individual queries.
+
+    Because the element cost is a query distance, DPE lifts directly:
+    preserved per-query distances give identical DTW alignments and
+    identical session distances, so session-level mining over encrypted
+    logs matches plaintext exactly (integration-tested). *)
+
+val distance :
+  cost:('a -> 'b -> float) -> 'a array -> 'b array -> float
+(** Classic DTW with steps (i-1,j), (i,j-1), (i-1,j-1); the distance of two
+    empty sequences is 0, of an empty vs non-empty sequence is [infinity]. *)
+
+val normalized :
+  cost:('a -> 'b -> float) -> 'a array -> 'b array -> float
+(** [distance / (len a + len b)] — comparable across session lengths.
+    0 for two empty sequences. *)
+
+val path :
+  cost:('a -> 'b -> float) -> 'a array -> 'b array -> (int * int) list
+(** The optimal alignment as (i, j) index pairs, start to end. *)

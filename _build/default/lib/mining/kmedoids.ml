@@ -1,0 +1,132 @@
+type params = { k : int; max_iter : int }
+
+(* Park–Jun initialization: pick the k objects with the smallest total
+   normalized distance to everything else (most central objects). *)
+let initial_medoids k m =
+  let n = Dist_matrix.size m in
+  let col_sum = Array.init n (fun j ->
+      let s = ref 0.0 in
+      for i = 0 to n - 1 do s := !s +. Dist_matrix.get m i j done;
+      !s)
+  in
+  let score = Array.init n (fun j ->
+      let s = ref 0.0 in
+      for i = 0 to n - 1 do
+        if col_sum.(i) > 0.0 then
+          s := !s +. (Dist_matrix.get m i j /. col_sum.(i))
+      done;
+      (!s, j))
+  in
+  Array.sort compare score;
+  Array.init k (fun i -> snd score.(i))
+
+let assign m medoids =
+  let n = Dist_matrix.size m in
+  Array.init n (fun i ->
+      let best = ref 0 and best_d = ref infinity in
+      Array.iteri
+        (fun c mid ->
+          let d = Dist_matrix.get m i mid in
+          if d < !best_d then begin
+            best := c;
+            best_d := d
+          end)
+        medoids;
+      !best)
+
+let update_medoids m labels k =
+  let n = Dist_matrix.size m in
+  Array.init k (fun c ->
+      let members = List.filter (fun i -> labels.(i) = c) (List.init n Fun.id) in
+      match members with
+      | [] -> -1
+      | _ ->
+        (* the member minimizing total intra-cluster distance; ties break
+           to the lowest index for determinism *)
+        let best = ref (List.hd members) and best_cost = ref infinity in
+        List.iter
+          (fun cand ->
+            let cost =
+              List.fold_left
+                (fun acc i -> acc +. Dist_matrix.get m cand i)
+                0.0 members
+            in
+            if cost < !best_cost then begin
+              best := cand;
+              best_cost := cost
+            end)
+          members;
+        !best)
+
+let run_full { k; max_iter } m =
+  let n = Dist_matrix.size m in
+  if k <= 0 || k > n then invalid_arg "Kmedoids: k out of range";
+  let medoids = ref (initial_medoids k m) in
+  let labels = ref (assign m !medoids) in
+  let continue = ref true in
+  let iter = ref 0 in
+  while !continue && !iter < max_iter do
+    incr iter;
+    let medoids' = update_medoids m !labels k in
+    (* a cluster can become empty only on degenerate inputs: keep the old
+       medoid in that case *)
+    Array.iteri (fun c mid -> if mid = -1 then medoids'.(c) <- !medoids.(c)) medoids';
+    if medoids' = !medoids then continue := false
+    else begin
+      medoids := medoids';
+      labels := assign m !medoids
+    end
+  done;
+  (!medoids, !labels)
+
+let run p m = snd (run_full p m)
+
+let total_cost m medoids =
+  let n = Dist_matrix.size m in
+  let cost = ref 0.0 in
+  for i = 0 to n - 1 do
+    cost :=
+      !cost
+      +. Array.fold_left
+           (fun best mid -> Float.min best (Dist_matrix.get m i mid))
+           infinity medoids
+  done;
+  !cost
+
+let run_pam p m =
+  let n = Dist_matrix.size m in
+  let medoids, _ = run_full p m in
+  let medoids = Array.copy medoids in
+  let improved = ref true in
+  (* a generous sweep bound; convergence is usually immediate *)
+  let sweeps = ref 0 in
+  while !improved && !sweeps < p.max_iter do
+    improved := false;
+    incr sweeps;
+    let current = ref (total_cost m medoids) in
+    for c = 0 to p.k - 1 do
+      for cand = 0 to n - 1 do
+        if not (Array.exists (( = ) cand) medoids) then begin
+          let old = medoids.(c) in
+          medoids.(c) <- cand;
+          let cost = total_cost m medoids in
+          if cost < !current -. 1e-12 then begin
+            current := cost;
+            improved := true
+          end
+          else medoids.(c) <- old
+        end
+      done
+    done
+  done;
+  assign m medoids
+
+let medoids p m =
+  let ms, _ = run_full p m in
+  Array.sort compare ms;
+  ms
+
+let cost m medoids labels =
+  let total = ref 0.0 in
+  Array.iteri (fun i c -> total := !total +. Dist_matrix.get m i medoids.(c)) labels;
+  !total

@@ -1,0 +1,82 @@
+let canonicalize labels =
+  let mapping = Hashtbl.create 16 in
+  let next = ref 0 in
+  Array.map
+    (fun l ->
+      if l = -1 then -1
+      else
+        match Hashtbl.find_opt mapping l with
+        | Some c -> c
+        | None ->
+          let c = !next in
+          incr next;
+          Hashtbl.add mapping l c;
+          c)
+    labels
+
+let same_partition a b =
+  Array.length a = Array.length b && canonicalize a = canonicalize b
+
+(* contingency table over label pairs *)
+let contingency a b =
+  let tbl = Hashtbl.create 32 in
+  Array.iteri
+    (fun i la ->
+      let key = (la, b.(i)) in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    a;
+  tbl
+
+let choose2 n = float_of_int (n * (n - 1)) /. 2.0
+
+let adjusted_rand_index a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Labeling.adjusted_rand_index";
+  if n = 0 then 1.0
+  else begin
+    let tbl = contingency a b in
+    let rows = Hashtbl.create 16 and cols = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun (la, lb) c ->
+        Hashtbl.replace rows la (c + Option.value ~default:0 (Hashtbl.find_opt rows la));
+        Hashtbl.replace cols lb (c + Option.value ~default:0 (Hashtbl.find_opt cols lb)))
+      tbl;
+    let sum_cells = Hashtbl.fold (fun _ c acc -> acc +. choose2 c) tbl 0.0 in
+    let sum_rows = Hashtbl.fold (fun _ c acc -> acc +. choose2 c) rows 0.0 in
+    let sum_cols = Hashtbl.fold (fun _ c acc -> acc +. choose2 c) cols 0.0 in
+    let total = choose2 n in
+    let expected = sum_rows *. sum_cols /. total in
+    let max_index = (sum_rows +. sum_cols) /. 2.0 in
+    if max_index = expected then 1.0
+    else (sum_cells -. expected) /. (max_index -. expected)
+  end
+
+let purity ~truth labels =
+  let n = Array.length labels in
+  if n = 0 then 1.0
+  else begin
+    (* group indices by cluster; noise points are singletons *)
+    let groups = Hashtbl.create 16 in
+    let singletons = ref [] in
+    Array.iteri
+      (fun i l ->
+        if l = -1 then singletons := [ i ] :: !singletons
+        else
+          Hashtbl.replace groups l
+            (i :: Option.value ~default:[] (Hashtbl.find_opt groups l)))
+      labels;
+    let clusters = Hashtbl.fold (fun _ g acc -> g :: acc) groups !singletons in
+    let correct =
+      List.fold_left
+        (fun acc members ->
+          let counts = Hashtbl.create 8 in
+          List.iter
+            (fun i ->
+              Hashtbl.replace counts truth.(i)
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts truth.(i))))
+            members;
+          acc + Hashtbl.fold (fun _ c best -> max c best) counts 0)
+        0 clusters
+    in
+    float_of_int correct /. float_of_int n
+  end

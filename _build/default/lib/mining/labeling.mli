@@ -1,0 +1,18 @@
+(** Comparing clusterings: exact partition equality (what distance
+    preservation guarantees) and the Adjusted Rand Index (for reporting
+    agreement with planted ground truth). *)
+
+val same_partition : int array -> int array -> bool
+(** True iff the two labelings induce the same partition, i.e. they are
+    equal up to a relabeling.  Noise labels ([-1]) must match exactly. *)
+
+val canonicalize : int array -> int array
+(** Relabel clusters by first appearance (noise stays [-1]); two labelings
+    are the same partition iff their canonical forms are equal. *)
+
+val adjusted_rand_index : int array -> int array -> float
+(** ARI in [-1, 1]; 1 means identical partitions. *)
+
+val purity : truth:int array -> int array -> float
+(** Fraction of points whose cluster's majority ground-truth label matches
+    their own; noise points count as singleton clusters. *)

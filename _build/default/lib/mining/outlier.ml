@@ -1,0 +1,16 @@
+type params = { p : float; d : float }
+
+let run { p; d } m =
+  let n = Dist_matrix.size m in
+  Array.init n (fun i ->
+      let far = ref 0 in
+      for j = 0 to n - 1 do
+        if j <> i && Dist_matrix.get m i j > d then incr far
+      done;
+      n > 1 && float_of_int !far >= p *. float_of_int (n - 1))
+
+let outlier_indices params m =
+  run params m
+  |> Array.to_list
+  |> List.mapi (fun i b -> (i, b))
+  |> List.filter_map (fun (i, b) -> if b then Some i else None)

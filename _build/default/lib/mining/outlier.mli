@@ -1,0 +1,10 @@
+(** Distance-based outliers, Knorr & Ng [6]: an object is a DB(p, d)
+    outlier if at least fraction [p] of all other objects lie farther than
+    [d] from it. *)
+
+type params = { p : float; d : float }
+
+val run : params -> Dist_matrix.t -> bool array
+(** [true] at outlier positions. *)
+
+val outlier_indices : params -> Dist_matrix.t -> int list

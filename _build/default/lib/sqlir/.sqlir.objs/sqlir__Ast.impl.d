@@ -1,0 +1,1 @@
+lib/sqlir/ast.pp.ml: Hashtbl List Option Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/sqlir/ast.pp.mli: Ppx_deriving_runtime

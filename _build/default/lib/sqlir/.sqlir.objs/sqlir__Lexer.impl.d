@@ -1,0 +1,1 @@
+lib/sqlir/lexer.pp.ml: Buffer Format List Printf String

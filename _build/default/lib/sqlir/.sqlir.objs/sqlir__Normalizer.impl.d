@@ -1,0 +1,1 @@
+lib/sqlir/normalizer.pp.ml: Ast List Option Printf String

@@ -1,0 +1,1 @@
+lib/sqlir/normalizer.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/sqlir/parser.pp.ml: Ast Lexer List Option Printf

@@ -1,0 +1,1 @@
+lib/sqlir/parser.pp.mli: Ast

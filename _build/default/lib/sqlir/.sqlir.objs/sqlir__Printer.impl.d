@@ -1,0 +1,1 @@
+lib/sqlir/printer.pp.ml: Ast Buffer List Printf String

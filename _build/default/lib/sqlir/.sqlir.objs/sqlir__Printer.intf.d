@@ -1,0 +1,1 @@
+lib/sqlir/printer.pp.mli: Ast

@@ -1,0 +1,177 @@
+type const =
+  | Cint of int
+  | Cfloat of float
+  | Cstring of string
+[@@deriving show, eq, ord]
+
+type attr = {
+  rel : string option;
+  name : string;
+}
+[@@deriving show, eq, ord]
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge [@@deriving show, eq, ord]
+
+type agg_fn = Count | Sum | Avg | Min | Max [@@deriving show, eq, ord]
+
+type pred =
+  | Cmp of cmp * attr * const
+  | Cmp_agg of cmp * agg_fn * attr option * const
+  | Cmp_attrs of cmp * attr * attr
+  | Between of attr * const * const
+  | In_list of attr * const list
+  | Like of attr * string
+  | Is_null of attr
+  | Is_not_null of attr
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+[@@deriving show, eq, ord]
+
+type select_item =
+  | Star
+  | Sel_attr of attr * string option
+  | Sel_agg of agg_fn * attr option * string option
+[@@deriving show, eq, ord]
+
+type order_dir = Asc | Desc [@@deriving show, eq, ord]
+
+type join_kind = Inner | Left [@@deriving show, eq, ord]
+
+type join = {
+  jkind : join_kind;
+  jrel : string;
+  jleft : attr;
+  jright : attr;
+}
+[@@deriving show, eq, ord]
+
+type query = {
+  distinct : bool;
+  select : select_item list;
+  from : string list;
+  joins : join list;
+  where : pred option;
+  group_by : attr list;
+  having : pred option;
+  order_by : (attr * order_dir) list;
+  limit : int option;
+}
+[@@deriving show, eq, ord]
+
+let simple_query = {
+  distinct = false;
+  select = [ Star ];
+  from = [];
+  joins = [];
+  where = None;
+  group_by = [];
+  having = None;
+  order_by = [];
+  limit = None;
+}
+
+let attr ?rel name = { rel; name }
+
+let dedup xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin Hashtbl.add seen x (); true end)
+    xs
+
+let relations q =
+  dedup (q.from @ List.map (fun j -> j.jrel) q.joins)
+
+let rec pred_attrs = function
+  | Cmp (_, a, _) | Between (a, _, _) | In_list (a, _) | Like (a, _)
+  | Is_null a | Is_not_null a -> [ a ]
+  | Cmp_agg (_, _, a, _) -> Option.to_list a
+  | Cmp_attrs (_, a, b) -> [ a; b ]
+  | And (p, q) | Or (p, q) -> pred_attrs p @ pred_attrs q
+  | Not p -> pred_attrs p
+
+let attributes q =
+  let of_select = function
+    | Star -> []
+    | Sel_attr (a, _) -> [ a ]
+    | Sel_agg (_, a, _) -> Option.to_list a
+  in
+  dedup
+    (List.concat_map of_select q.select
+     @ List.concat_map (fun j -> [ j.jleft; j.jright ]) q.joins
+     @ (match q.where with None -> [] | Some p -> pred_attrs p)
+     @ q.group_by
+     @ (match q.having with None -> [] | Some p -> pred_attrs p)
+     @ List.map fst q.order_by)
+
+let predicate_atoms p =
+  let rec go acc = function
+    | And (p, q) | Or (p, q) -> go (go acc p) q
+    | Not p -> go acc p
+    | leaf -> leaf :: acc
+  in
+  List.rev (go [] p)
+
+type const_ctx =
+  | In_predicate of attr
+  | In_aggregate of agg_fn * attr option
+
+let map_query ~rel ~attr ~const q =
+  let map_attr = attr in
+  let rec map_pred = function
+    | Cmp (c, a, v) -> Cmp (c, map_attr a, const (In_predicate a) v)
+    | Cmp_agg (c, f, a, v) ->
+      Cmp_agg (c, f, Option.map map_attr a, const (In_aggregate (f, a)) v)
+    | Cmp_attrs (c, a, b) -> Cmp_attrs (c, map_attr a, map_attr b)
+    | Between (a, lo, hi) ->
+      Between (map_attr a, const (In_predicate a) lo, const (In_predicate a) hi)
+    | In_list (a, vs) -> In_list (map_attr a, List.map (const (In_predicate a)) vs)
+    | Like (a, pat) ->
+      (* LIKE patterns carry constant data tied to the attribute *)
+      let pat' =
+        match const (In_predicate a) (Cstring pat) with
+        | Cstring s -> s
+        | Cint _ | Cfloat _ -> pat
+      in
+      Like (map_attr a, pat')
+    | Is_null a -> Is_null (map_attr a)
+    | Is_not_null a -> Is_not_null (map_attr a)
+    | And (p, q) -> And (map_pred p, map_pred q)
+    | Or (p, q) -> Or (map_pred p, map_pred q)
+    | Not p -> Not (map_pred p)
+  in
+  (* aliases are identifiers of the query text: rename them through the
+     attribute-name map (they may leak semantics just like column names) *)
+  let map_alias alias =
+    Option.map (fun name -> (map_attr { rel = None; name }).name) alias
+  in
+  let map_select = function
+    | Star -> Star
+    | Sel_attr (a, alias) -> Sel_attr (map_attr a, map_alias alias)
+    | Sel_agg (f, a, alias) -> Sel_agg (f, Option.map map_attr a, map_alias alias)
+  in
+  {
+    q with
+    select = List.map map_select q.select;
+    from = List.map rel q.from;
+    joins =
+      List.map
+        (fun j ->
+          { j with jrel = rel j.jrel; jleft = map_attr j.jleft;
+            jright = map_attr j.jright })
+        q.joins;
+    where = Option.map map_pred q.where;
+    group_by = List.map map_attr q.group_by;
+    having = Option.map map_pred q.having;
+    order_by = List.map (fun (a, d) -> (map_attr a, d)) q.order_by;
+  }
+
+let cmp_flip = function
+  | Eq -> Eq
+  | Neq -> Neq
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le

@@ -1,0 +1,110 @@
+(** Abstract syntax for the SELECT subset of SQL used throughout the paper.
+
+    The shape deliberately mirrors the paper's needs: predicates are kept in
+    {e attribute-versus-constant} or {e attribute-versus-attribute} form so
+    that (a) the high-level encryption scheme "(EncRel, EncAttr,
+    {EncA.Const})" of §IV-A2 can locate every constant together with the
+    attribute it belongs to, and (b) access areas (§IV-B4) fall out of the
+    predicate structure directly.  The parser normalizes constant-first
+    comparisons ([5 < a]) into this form. *)
+
+type const =
+  | Cint of int
+  | Cfloat of float
+  | Cstring of string
+[@@deriving show, eq, ord]
+
+type attr = {
+  rel : string option;  (** qualifier, e.g. [Some "orders"] in [orders.id] *)
+  name : string;
+}
+[@@deriving show, eq, ord]
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge [@@deriving show, eq, ord]
+
+type agg_fn = Count | Sum | Avg | Min | Max [@@deriving show, eq, ord]
+
+type pred =
+  | Cmp of cmp * attr * const
+  | Cmp_agg of cmp * agg_fn * attr option * const
+      (** aggregate comparison in HAVING, e.g. [COUNT(x) > 2] *)
+  | Cmp_attrs of cmp * attr * attr    (** join-style predicate, e.g. [a.x = b.y] *)
+  | Between of attr * const * const
+  | In_list of attr * const list
+  | Like of attr * string
+  | Is_null of attr
+  | Is_not_null of attr
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+[@@deriving show, eq, ord]
+
+type select_item =
+  | Star
+  | Sel_attr of attr * string option
+      (** attribute with an optional [AS] alias (an output label only —
+          aliases cannot be referenced elsewhere in the query) *)
+  | Sel_agg of agg_fn * attr option * string option
+      (** [Sel_agg (Count, None, None)] is [COUNT] of star *)
+[@@deriving show, eq, ord]
+
+type order_dir = Asc | Desc [@@deriving show, eq, ord]
+
+type join_kind = Inner | Left [@@deriving show, eq, ord]
+
+type join = {
+  jkind : join_kind;
+  jrel : string;
+  jleft : attr;
+  jright : attr;
+}
+[@@deriving show, eq, ord]
+
+type query = {
+  distinct : bool;
+  select : select_item list;
+  from : string list;
+  joins : join list;  (** [JOIN r ON a = b] clauses, in order *)
+  where : pred option;
+  group_by : attr list;
+  having : pred option;
+  order_by : (attr * order_dir) list;
+  limit : int option;
+}
+[@@deriving show, eq, ord]
+
+(** {1 Constructors and helpers} *)
+
+val simple_query : query
+(** [SELECT * FROM] nothing — a neutral record to override with [{ ... with }]. *)
+
+val attr : ?rel:string -> string -> attr
+
+val relations : query -> string list
+(** All relation names mentioned ([FROM] list and [JOIN]s), in order,
+    duplicates removed. *)
+
+val attributes : query -> attr list
+(** Every attribute occurrence in the query, duplicates removed. *)
+
+val predicate_atoms : pred -> pred list
+(** The leaves of the [And]/[Or]/[Not] tree, left to right. *)
+
+type const_ctx =
+  | In_predicate of attr     (** constant compared against this attribute *)
+  | In_aggregate of agg_fn * attr option
+      (** constant compared against an aggregate output (HAVING) *)
+
+val map_query :
+  rel:(string -> string) ->
+  attr:(attr -> attr) ->
+  const:(const_ctx -> const -> const) ->
+  query -> query
+(** Structure-preserving rewrite: rename every relation, every attribute,
+    and every constant together with its context — the attribute it is
+    compared against, or the aggregate whose output it bounds.  This is the
+    engine under the high-level encryption scheme of §IV-A2. *)
+
+val cmp_flip : cmp -> cmp
+(** Mirror a comparison: [cmp_flip Lt = Gt], used when normalizing
+    constant-first predicates. *)

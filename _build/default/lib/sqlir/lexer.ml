@@ -1,0 +1,108 @@
+type token =
+  | Kw of string
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Sym of string
+
+let equal_token (a : token) (b : token) = a = b
+
+let keywords =
+  [ "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "JOIN"; "INNER"; "LEFT"; "OUTER";
+    "ON"; "GROUP";
+    "BY"; "HAVING"; "ORDER"; "ASC"; "DESC"; "LIMIT"; "AND"; "OR"; "NOT";
+    "BETWEEN"; "IN"; "LIKE"; "IS"; "NULL"; "AS";
+    "COUNT"; "SUM"; "AVG"; "MIN"; "MAX" ]
+
+let is_keyword s = List.mem (String.uppercase_ascii s) keywords
+
+let token_to_string = function
+  | Kw k -> k
+  | Ident s -> s
+  | Int_lit n -> string_of_int n
+  | Float_lit f -> Printf.sprintf "%g" f
+  | Str_lit s ->
+    let escaped = String.concat "''" (String.split_on_char '\'' s) in
+    "'" ^ escaped ^ "'"
+  | Sym s -> s
+
+let pp_token fmt t = Format.pp_print_string fmt (token_to_string t)
+
+exception Lex_error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else begin
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1) acc
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do incr j done;
+        let word = String.sub input i (!j - i) in
+        let tok =
+          if is_keyword word then Kw (String.uppercase_ascii word) else Ident word
+        in
+        go !j (tok :: acc)
+      end
+      else if is_digit c
+              || (c = '-' && i + 1 < n && is_digit input.[i + 1]
+                  && (match acc with
+                      | (Int_lit _ | Float_lit _ | Ident _ | Str_lit _) :: _ -> false
+                      | Sym ")" :: _ -> false
+                      | _ -> true))
+      then begin
+        let j = ref i in
+        if input.[!j] = '-' then incr j;
+        while !j < n && is_digit input.[!j] do incr j done;
+        let is_float =
+          !j + 1 < n && input.[!j] = '.' && is_digit input.[!j + 1]
+        in
+        if is_float then begin
+          incr j;
+          while !j < n && is_digit input.[!j] do incr j done;
+          go !j (Float_lit (float_of_string (String.sub input i (!j - i))) :: acc)
+        end
+        else go !j (Int_lit (int_of_string (String.sub input i (!j - i))) :: acc)
+      end
+      else if c = '\'' then begin
+        (* string literal; '' escapes a quote *)
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then raise (Lex_error ("unterminated string literal", i))
+          else if input.[j] = '\'' then
+            if j + 1 < n && input.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf input.[j];
+            scan (j + 1)
+          end
+        in
+        let j = scan (i + 1) in
+        go j (Str_lit (Buffer.contents buf) :: acc)
+      end
+      else begin
+        let two = if i + 1 < n then String.sub input i 2 else "" in
+        match two with
+        | "<=" | ">=" | "<>" | "!=" ->
+          let sym = if two = "!=" then "<>" else two in
+          go (i + 2) (Sym sym :: acc)
+        | _ ->
+          (match c with
+           | ',' | '(' | ')' | '.' | '*' | '=' | '<' | '>' | ';' | '-' | '+' | '/' ->
+             go (i + 1) (Sym (String.make 1 c) :: acc)
+           | _ ->
+             raise (Lex_error (Printf.sprintf "unexpected character %C" c, i)))
+      end
+    end
+  in
+  go 0 []

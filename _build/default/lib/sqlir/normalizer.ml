@@ -1,0 +1,127 @@
+(* Two flavours of the same rewriting pipeline.  [`Full] may use the value
+   order of constants (owner side, plaintext); [`Cipher_safe] restricts
+   itself to rewrites that commute with any deterministic injective
+   constant encryption: deduplication, flattening, negation pushing, and
+   sorting keyed by predicate SHAPE (constants erased) with a stable sort,
+   so equal-shape conjuncts keep their original relative order on both
+   sides of the encryption boundary. *)
+
+type mode = Full | Cipher_safe
+
+let negate_cmp = function
+  | Ast.Eq -> Ast.Neq
+  | Ast.Neq -> Ast.Eq
+  | Ast.Lt -> Ast.Ge
+  | Ast.Le -> Ast.Gt
+  | Ast.Gt -> Ast.Le
+  | Ast.Ge -> Ast.Lt
+
+(* Shape key for the cipher-safe stable sort.  It must be invariant under
+   encryption, so it may name neither constants NOR attributes (encrypted
+   names sort differently than plaintext ones): only the operator skeleton
+   remains, and equal-skeleton predicates keep their original relative
+   order thanks to the stable sort. *)
+let rec shape = function
+  | Ast.Cmp (c, _, _) -> "cmp:" ^ Ast.show_cmp c
+  | Ast.Cmp_agg (c, f, _, _) ->
+    Printf.sprintf "agg:%s:%s" (Ast.show_cmp c) (Ast.show_agg_fn f)
+  | Ast.Cmp_attrs (c, _, _) -> "attrs:" ^ Ast.show_cmp c
+  | Ast.Between _ -> "between"
+  | Ast.In_list (_, vs) -> Printf.sprintf "in:%d" (List.length vs)
+  | Ast.Like _ -> "like"
+  | Ast.Is_null _ -> "null"
+  | Ast.Is_not_null _ -> "notnull"
+  | Ast.And (l, r) -> Printf.sprintf "and(%s,%s)" (shape l) (shape r)
+  | Ast.Or (l, r) -> Printf.sprintf "or(%s,%s)" (shape l) (shape r)
+  | Ast.Not p -> "not(" ^ shape p ^ ")"
+
+let sort_preds mode preds =
+  match mode with
+  | Full -> List.sort_uniq Ast.compare_pred preds
+  | Cipher_safe ->
+    (* dedup by full equality, order by shape only (stable) *)
+    let dedup =
+      List.fold_left
+        (fun acc p -> if List.exists (Ast.equal_pred p) acc then acc else p :: acc)
+        [] preds
+      |> List.rev
+    in
+    List.stable_sort (fun a b -> String.compare (shape a) (shape b)) dedup
+
+let rec flatten_and = function
+  | Ast.And (l, r) -> flatten_and l @ flatten_and r
+  | p -> [ p ]
+
+let rec flatten_or = function
+  | Ast.Or (l, r) -> flatten_or l @ flatten_or r
+  | p -> [ p ]
+
+let rec fold_right_assoc op = function
+  | [] -> invalid_arg "Normalizer: empty predicate list"
+  | [ p ] -> p
+  | p :: rest -> op p (fold_right_assoc op rest)
+
+let rec norm_pred mode p =
+  match p with
+  | Ast.Not q ->
+    (* normalize the body first: a singleton IN may have just become an
+       equality that the negation can then be pushed over *)
+    (match norm_pred mode q with
+     | Ast.Cmp (c, a, v) -> Ast.Cmp (negate_cmp c, a, v)
+     | Ast.Cmp_attrs (c, a, b) -> Ast.Cmp_attrs (negate_cmp c, a, b)
+     | Ast.Is_null a -> Ast.Is_not_null a
+     | Ast.Is_not_null a -> Ast.Is_null a
+     | Ast.Not q' -> q'
+     | q' -> Ast.Not q')
+  | Ast.And _ ->
+    let parts = flatten_and p |> List.map (norm_pred mode) in
+    (* re-flatten: children may have normalized into conjunctions *)
+    let parts = List.concat_map flatten_and parts in
+    fold_right_assoc (fun l r -> Ast.And (l, r)) (sort_preds mode parts)
+  | Ast.Or _ ->
+    let parts = flatten_or p |> List.map (norm_pred mode) in
+    let parts = List.concat_map flatten_or parts in
+    fold_right_assoc (fun l r -> Ast.Or (l, r)) (sort_preds mode parts)
+  | Ast.In_list (a, vs) ->
+    let vs =
+      match mode with
+      | Full -> List.sort_uniq Ast.compare_const vs
+      | Cipher_safe ->
+        List.fold_left
+          (fun acc v -> if List.exists (Ast.equal_const v) acc then acc else v :: acc)
+          [] vs
+        |> List.rev
+    in
+    (match vs with
+     | [ v ] -> Ast.Cmp (Ast.Eq, a, v)
+     | vs -> Ast.In_list (a, vs))
+  | Ast.Between (a, lo, hi) ->
+    (match mode, lo, hi with
+     | Full, _, _ when Ast.compare_const lo hi > 0 -> Ast.Between (a, hi, lo)
+     | _, Ast.Cint l, Ast.Cint h when l > h ->
+       (* integer bound order survives OPE, so this is cipher-safe *)
+       Ast.Between (a, hi, lo)
+     | _ when Ast.equal_const lo hi -> Ast.Cmp (Ast.Eq, a, lo)
+     | _ -> Ast.Between (a, lo, hi))
+  | Ast.Cmp _ | Ast.Cmp_attrs _ | Ast.Cmp_agg _ | Ast.Like _
+  | Ast.Is_null _ | Ast.Is_not_null _ -> p
+
+let dedup_stable equal xs =
+  List.fold_left
+    (fun acc x -> if List.exists (equal x) acc then acc else x :: acc)
+    [] xs
+  |> List.rev
+
+let norm mode (q : Ast.query) =
+  { q with
+    Ast.select = dedup_stable Ast.equal_select_item q.Ast.select;
+    where = Option.map (norm_pred mode) q.Ast.where;
+    having = Option.map (norm_pred mode) q.Ast.having;
+    group_by = dedup_stable Ast.equal_attr q.Ast.group_by;
+    order_by =
+      dedup_stable (fun (a, _) (b, _) -> Ast.equal_attr a b) q.Ast.order_by }
+
+let normalize q = norm Full q
+let normalize_cipher_safe q = norm Cipher_safe q
+
+let equivalent a b = Ast.equal_query (normalize a) (normalize b)

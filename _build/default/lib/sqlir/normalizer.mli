@@ -1,0 +1,35 @@
+(** Query canonicalization for log mining.
+
+    Real query logs contain many spellings of the same intent
+    ([a = 1 AND b = 2] vs [b = 2 AND a = 1], [x BETWEEN 2 AND 1] with the
+    bounds swapped, duplicated IN-list members, …).  Normalizing before
+    distance computation makes such pairs distance-0 and stabilizes
+    clustering.
+
+    A crucial property (verified in the test suite): normalization built
+    only from {e order-free} rewrites — deduplication, flattening,
+    structural sorting by shape rather than by value order — commutes with
+    the DPE encryption of every measure, so owners and providers may
+    normalize on either side of the encryption boundary and obtain the
+    same distances.  Rewrites that need the {e value order} (sorting
+    IN-list constants, reordering BETWEEN bounds) are applied only where
+    order survives encryption (integers under OPE) or before encryption;
+    [normalize] therefore comes in the two flavours below. *)
+
+val normalize : Ast.query -> Ast.query
+(** Full normalization (owner side, plaintext):
+    - AND/OR trees flattened and right-associated with sorted,
+      deduplicated conjuncts/disjuncts;
+    - IN lists sorted and deduplicated; singleton IN becomes equality;
+    - BETWEEN bounds ordered; degenerate BETWEEN becomes equality;
+    - double negation removed; NOT pushed over comparisons
+      ([NOT a < 5] → [a >= 5]);
+    - duplicate select items, group-by and order-by attributes removed. *)
+
+val normalize_cipher_safe : Ast.query -> Ast.query
+(** The subset of rewrites that commutes with encryption (no value-order
+    dependent rewrite on string constants; integer-ordered rewrites are
+    kept because OPE preserves them). *)
+
+val equivalent : Ast.query -> Ast.query -> bool
+(** [equal_query (normalize a) (normalize b)]. *)

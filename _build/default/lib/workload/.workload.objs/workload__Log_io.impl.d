@@ -1,0 +1,1 @@
+lib/workload/log_io.ml: List Printf Sqlir String

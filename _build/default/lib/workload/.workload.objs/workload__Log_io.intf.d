@@ -1,0 +1,1 @@
+lib/workload/log_io.mli: Sqlir

@@ -1,0 +1,34 @@
+let to_string log =
+  String.concat "\n" (List.map Sqlir.Printer.to_string log) ^ "\n"
+
+let of_string input =
+  let lines = String.split_on_char '\n' input in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go acc (lineno + 1) rest
+      else begin
+        match Sqlir.Parser.parse_result line with
+        | Ok q -> go (q :: acc) (lineno + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+      end
+  in
+  go [] 1 lines
+
+let save path log =
+  match open_out path with
+  | oc ->
+    output_string oc (to_string log);
+    close_out oc;
+    Ok ()
+  | exception Sys_error e -> Error e
+
+let load path =
+  match open_in_bin path with
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    of_string s
+  | exception Sys_error e -> Error e

@@ -1,0 +1,9 @@
+(** Plain-text query-log files: one SQL query per line, blank lines and
+    [#]-comments ignored.  The format both the CLI and the examples use. *)
+
+val to_string : Sqlir.Ast.query list -> string
+val of_string : string -> (Sqlir.Ast.query list, string) result
+(** Errors carry the 1-based line number of the offending query. *)
+
+val save : string -> Sqlir.Ast.query list -> (unit, string) result
+val load : string -> (Sqlir.Ast.query list, string) result

@@ -1,0 +1,228 @@
+module Value = Minidb.Value
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let v_int n = Value.Vint n
+let v_str s = Value.Vstring s
+
+(* ---- aux model ---- *)
+
+let test_aux_model () =
+  let aux = Attack.Aux_model.of_values
+      [ v_str "a"; v_str "a"; v_str "a"; v_str "b"; v_str "b"; v_str "c"; Value.Vnull ]
+  in
+  check_int "total skips nulls" 6 (Attack.Aux_model.total aux);
+  check_int "support" 3 (Attack.Aux_model.support_size aux);
+  check_bool "mode" true (Attack.Aux_model.mode aux = Some (v_str "a"));
+  (match Attack.Aux_model.ranked aux with
+   | (v1, 3) :: (v2, 2) :: (v3, 1) :: [] ->
+     check_bool "rank order" true (v1 = v_str "a" && v2 = v_str "b" && v3 = v_str "c")
+   | _ -> Alcotest.fail "ranked");
+  let ints = Attack.Aux_model.of_values (List.init 100 (fun i -> v_int i)) in
+  check_bool "quantile low" true (Attack.Aux_model.quantile ints 0.005 = Some (v_int 0));
+  check_bool "quantile high" true
+    (match Attack.Aux_model.quantile ints 0.999 with
+     | Some (Value.Vint n) -> n >= 95
+     | _ -> false);
+  check_bool "empty aux" true
+    (Attack.Aux_model.mode (Attack.Aux_model.of_values []) = None)
+
+(* ---- attacks on synthetic ciphertexts ---- *)
+
+(* a deterministic "encryption" for testing the attacks themselves *)
+let det_cipher v = v_str ("ct:" ^ Value.to_string v)
+
+let test_frequency_attack () =
+  (* skewed distribution: frequency analysis should recover everything *)
+  let plains =
+    List.concat
+      [ List.init 10 (fun _ -> v_str "common");
+        List.init 5 (fun _ -> v_str "medium");
+        List.init 1 (fun _ -> v_str "rare") ]
+  in
+  let pairs = List.map (fun p -> (p, det_cipher p)) plains in
+  let aux = Attack.Aux_model.of_values plains in
+  let o = Attack.Attacks.frequency aux pairs in
+  check_int "cells" 16 o.Attack.Attacks.cells;
+  check_float "full recovery on skewed DET" 1.0 o.Attack.Attacks.rate;
+  (* uniform distribution: rank matching is no better than luck, but it is
+     deterministic, so some fixed fraction is still recovered *)
+  let uni = List.init 20 (fun i -> v_str (Printf.sprintf "u%02d" i)) in
+  (* a deterministic cipher whose output order scrambles the input order —
+     [det_cipher] keeps the lexicographic order and would let the rank
+     tie-break cheat *)
+  let scrambled p = v_str (string_of_int (Hashtbl.hash (Value.to_string p))) in
+  let upairs = List.map (fun p -> (p, scrambled p)) uni in
+  let uaux = Attack.Aux_model.of_values uni in
+  let uo = Attack.Attacks.frequency uaux upairs in
+  check_bool "uniform weaker" true (uo.Attack.Attacks.rate < 1.0)
+
+let test_sorting_attack () =
+  (* order-preserving "encryption": multiply by 7 and add 3 *)
+  let plains = List.init 50 (fun i -> v_int i) in
+  let pairs = List.map (fun v -> match v with
+      | Value.Vint n -> (v, v_int ((n * 7) + 3))
+      | _ -> assert false) plains in
+  let aux = Attack.Aux_model.of_values plains in
+  let o = Attack.Attacks.sorting aux pairs in
+  check_float "sorting attack nails known uniform distribution" 1.0 o.Attack.Attacks.rate;
+  (* frequency attack on the same OPE data is much weaker: all frequencies
+     are 1, so rank-matching is arbitrary *)
+  let f = Attack.Attacks.frequency aux pairs in
+  check_bool "sorting beats frequency on OPE" true
+    (o.Attack.Attacks.rate >= f.Attack.Attacks.rate)
+
+let test_known_plaintext () =
+  let n = 100 in
+  let plains = List.init n (fun i -> v_int i) in
+  let enc v = (v * 7) + 3 in
+  let pairs = List.map (fun v -> match v with
+      | Value.Vint x -> (v, v_int (enc x)) | _ -> assert false) plains in
+  let aux = Attack.Aux_model.of_values plains in
+  let anchors_every k =
+    List.filteri (fun i _ -> i mod k = 0) pairs
+  in
+  let rate k =
+    (Attack.Attacks.known_plaintext_ope aux ~anchors:(anchors_every k) pairs)
+      .Attack.Attacks.rate
+  in
+  (* anchor spacing 1: everything is an anchor -> certain recovery *)
+  check_float "all anchors" 1.0 (rate 1);
+  (* more anchors, more recovery *)
+  check_bool "monotone in anchors" true (rate 5 >= rate 10 && rate 10 >= rate 25);
+  check_bool "some recovery with sparse anchors" true (rate 25 > 0.0);
+  (* no anchors: falls back to the most frequent candidate overall *)
+  let none = (Attack.Attacks.known_plaintext_ope aux ~anchors:[] pairs).Attack.Attacks.rate in
+  check_bool "no anchors is weak" true (none <= 0.05)
+
+let test_mode_guess () =
+  let plains =
+    List.concat [ List.init 6 (fun _ -> v_str "top"); List.init 4 (fun i -> v_str (string_of_int i)) ]
+  in
+  (* probabilistic encryption: every ciphertext distinct *)
+  let pairs = List.mapi (fun i p -> (p, v_str (Printf.sprintf "r%d" i))) plains in
+  let aux = Attack.Aux_model.of_values plains in
+  let o = Attack.Attacks.mode_guess aux pairs in
+  check_float "mode share" 0.6 o.Attack.Attacks.rate
+
+let test_for_class_dispatch () =
+  let plains = List.init 10 (fun i -> v_int (i / 3)) in
+  let pairs = List.map (fun p -> (p, det_cipher p)) plains in
+  let aux = Attack.Aux_model.of_values plains in
+  List.iter
+    (fun cls ->
+      let o = Attack.Attacks.for_class cls aux pairs in
+      check_bool "rate bounded" true (o.Attack.Attacks.rate >= 0.0 && o.Attack.Attacks.rate <= 1.0))
+    Dpe.Taxonomy.all
+
+(* ---- end-to-end: encrypted log and database ---- *)
+
+let keyring = Crypto.Keyring.create ~master:"attack-suite"
+
+let log_for m seed =
+  Workload.Gen_query.skyserver_log
+    { Workload.Gen_query.n = 40; templates = 4; seed;
+      caps = Workload.Gen_query.caps_for_measure m }
+
+let test_attack_log_monotonic () =
+  (* the Fig. 1 claim, measured: recovery under the structure scheme (PROB
+     constants) <= token scheme (DET constants) <= a result scheme that
+     includes OPE constants *)
+  let m = Distance.Measure.Structure in
+  let log = log_for m "atk" in
+  let rate measure =
+    let scheme = Dpe.Selector.select measure (Dpe.Log_profile.of_log log) in
+    let enc = Dpe.Encryptor.create keyring scheme in
+    let cipher = Dpe.Encryptor.encrypt_log enc log in
+    let class_of a =
+      Dpe.Scheme.ppe_of_const_class (Dpe.Scheme.class_for_attr scheme a)
+    in
+    let report =
+      Attack.Harness.attack_log ~label:(Distance.Measure.to_string measure)
+        ~class_of ~plain:log ~cipher
+    in
+    report.Attack.Harness.overall.Attack.Attacks.rate
+  in
+  let structure = rate Distance.Measure.Structure in
+  let token = rate Distance.Measure.Token in
+  check_bool "structure (PROB) at most token (DET)" true (structure <= token);
+  check_bool "structure rate sane" true (structure >= 0.0 && structure < 1.0);
+  check_bool "token leaks something on skewed constants" true (token > 0.0)
+
+let test_attack_database () =
+  let m = Distance.Measure.Result in
+  let log = log_for m "atk-db" in
+  let scheme = Dpe.Selector.select m (Dpe.Log_profile.of_log log) in
+  let enc = Dpe.Encryptor.create keyring scheme in
+  let db = Workload.Gen_db.skyserver ~seed:"atk-db" ~rows:150 in
+  let encdb = Dpe.Db_encryptor.encrypt_database enc db in
+  let class_of a = Dpe.Scheme.ppe_of_const_class (Dpe.Scheme.class_for_attr scheme a) in
+  let report =
+    Attack.Harness.attack_database ~label:"db" ~class_of ~plain:db ~cipher:encdb
+      ~cipher_rel_of:(Dpe.Encryptor.encrypt_rel enc)
+      ~cipher_attr_of:(Dpe.Encryptor.encrypt_attr_name enc)
+  in
+  check_bool "rows present" true (List.length report.Attack.Harness.rows > 0);
+  check_bool "overall bounded" true
+    (report.Attack.Harness.overall.Attack.Attacks.rate >= 0.0
+     && report.Attack.Harness.overall.Attack.Attacks.rate <= 1.0);
+  (* an OPE column with a known distribution leaks a lot *)
+  let ope_rows =
+    List.filter
+      (fun r ->
+        r.Attack.Harness.cls = Dpe.Taxonomy.OPE
+        || r.Attack.Harness.cls = Dpe.Taxonomy.JOIN_OPE)
+      report.Attack.Harness.rows
+  in
+  check_bool "ope columns exist in this workload" true (ope_rows <> []);
+  List.iter
+    (fun r ->
+      check_bool
+        (Printf.sprintf "OPE column %s leaks more than guessing" r.Attack.Harness.attr)
+        true
+        (r.Attack.Harness.outcome.Attack.Attacks.rate > 0.05))
+    ope_rows
+
+let test_attack_names () =
+  let log = log_for Distance.Measure.Token "names" in
+  let scheme = Dpe.Selector.select Distance.Measure.Token (Dpe.Log_profile.of_log log) in
+  let enc = Dpe.Encryptor.create keyring scheme in
+  let cipher = Dpe.Encryptor.encrypt_log enc log in
+  let r = Attack.Harness.attack_names ~label:"names" ~plain:log ~cipher in
+  check_int "two namespaces" 2 (List.length r.Attack.Harness.rows);
+  (* the dominant relation name is recovered by frequency analysis: a known
+     weakness of deterministic name pseudonyms the harness must exhibit *)
+  let rel_row = List.find (fun row -> row.Attack.Harness.attr = "rel") r.Attack.Harness.rows in
+  check_bool "relation names leak heavily" true
+    (rel_row.Attack.Harness.outcome.Attack.Attacks.rate > 0.5);
+  check_bool "overall bounded" true
+    (r.Attack.Harness.overall.Attack.Attacks.rate <= 1.0)
+
+let test_constants_extraction () =
+  let log = List.map Sqlir.Parser.parse
+      [ "SELECT a FROM r WHERE b = 1 AND c IN (2, 3)";
+        "SELECT a FROM r WHERE d BETWEEN 4 AND 5 OR e LIKE 'x%'";
+        "SELECT a FROM r GROUP BY a HAVING COUNT(*) > 9" ]
+  in
+  let consts = Attack.Harness.constants_by_attr log in
+  (* b=1, c∈{2,3}, d∈{4,5}, e like — the COUNT threshold 9 is skipped *)
+  check_int "constants counted" 6 (List.length consts);
+  check_bool "count threshold skipped" true
+    (not (List.exists (fun (_, c) -> c = Sqlir.Ast.Cint 9) consts))
+
+let () =
+  Alcotest.run "attack"
+    [ ("aux", [ Alcotest.test_case "aux model" `Quick test_aux_model ]);
+      ("attacks",
+       [ Alcotest.test_case "frequency" `Quick test_frequency_attack;
+         Alcotest.test_case "sorting" `Quick test_sorting_attack;
+         Alcotest.test_case "known-plaintext anchors" `Quick test_known_plaintext;
+         Alcotest.test_case "mode guess" `Quick test_mode_guess;
+         Alcotest.test_case "class dispatch" `Quick test_for_class_dispatch ]);
+      ("end-to-end",
+       [ Alcotest.test_case "log attack monotone in leakage" `Slow test_attack_log_monotonic;
+         Alcotest.test_case "database attack" `Slow test_attack_database;
+         Alcotest.test_case "name recovery" `Slow test_attack_names;
+         Alcotest.test_case "constants extraction" `Quick test_constants_extraction ]) ]
