@@ -5,6 +5,7 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- fig1    -- only Fig. 1
      ... fig1 | table1 | preserve | mining | security | perf
+     dune exec bench/main.exe -- perf --json   -- also write BENCH_PR1.json
 
    See DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
    recorded paper-vs-measured outcomes. *)
@@ -470,6 +471,198 @@ let perf () =
     [ 25; 50; 100 ]
 
 (* ---------------------------------------------------------------- *)
+(* P2: multicore & cache trajectory (PR 1) — emits BENCH_PR1.json     *)
+(* ---------------------------------------------------------------- *)
+
+(* Each entry compares a baseline implementation against the PR-1 path
+   for the same operation.  [identical] asserts the two paths computed
+   the same answer (bit-for-bit for distance matrices and deterministic
+   ciphers); probabilistic ciphers are compared sequential-vs-parallel
+   under the per-row DRBG contract instead. *)
+type perf_entry = {
+  op : string;
+  pe_n : int;
+  pe_domains : int;
+  baseline_ns : float;  (* ns per operation, baseline *)
+  optimized_ns : float; (* ns per operation, PR-1 path *)
+  identical : bool;
+}
+
+let pe_speedup e = e.baseline_ns /. e.optimized_ns
+
+let time_best ?(reps = 3) f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* replica of the seed's sequential encrypt_table (per-value calls into
+   the encryptor's shared DRBG, no memo) — the pre-PR baseline *)
+let seed_encrypt_table enc table =
+  let plain_schema = Minidb.Table.schema table in
+  let names = Minidb.Schema.column_names plain_schema in
+  let cipher_schema = Dpe.Db_encryptor.encrypt_schema enc plain_schema in
+  Minidb.Table.map_rows
+    (fun row ->
+      Array.of_list
+        (List.mapi
+           (fun i name -> Dpe.Encryptor.encrypt_value enc ~attr:name row.(i))
+           names))
+    cipher_schema table
+
+let seed_encrypt_database enc db =
+  List.fold_left
+    (fun acc t -> Minidb.Database.add_table acc (seed_encrypt_table enc t))
+    Minidb.Database.empty (Minidb.Database.tables db)
+
+let db_rows db =
+  List.map
+    (fun t -> (Minidb.Table.schema t, Minidb.Table.rows t))
+    (Minidb.Database.tables db)
+
+let perf_parallel () =
+  section "P2: multicore & cache trajectory (PR 1)";
+  let domains = Parallel.Pool.default_domains () in
+  let pool = Parallel.Pool.global () in
+  Format.printf
+    "recommended domains %d, pool size %d (override with KITDPE_DOMAINS)@.@."
+    (Domain.recommended_domain_count ()) domains;
+  let entries = ref [] in
+  let push e = entries := e :: !entries in
+
+  (* 1. distance matrices: sequential loop (seed) vs pooled row blocks *)
+  List.iter
+    (fun (m, n) ->
+      let log =
+        Workload.Gen_query.skyserver_log
+          { Workload.Gen_query.n; templates = 4; seed = "p2-dm";
+            caps = Workload.Gen_query.caps_for_measure m }
+      in
+      let qs = Array.of_list log in
+      let d i j = M.compute M.default_ctx m qs.(i) qs.(j) in
+      let seq = Mining.Dist_matrix.of_fun_seq n d in
+      let par = Mining.Dist_matrix.of_fun ~pool n d in
+      let t_seq = time_best (fun () -> Mining.Dist_matrix.of_fun_seq n d) in
+      let t_par = time_best (fun () -> Mining.Dist_matrix.of_fun ~pool n d) in
+      push
+        { op = "dist_matrix/" ^ M.to_string m;
+          pe_n = n; pe_domains = domains;
+          baseline_ns = t_seq *. 1e9; optimized_ns = t_par *. 1e9;
+          identical = Mining.Dist_matrix.max_abs_diff seq par = 0.0 })
+    [ (M.Edit, 200); (M.Edit, 400); (M.Token, 300) ];
+
+  (* 2. bulk database encryption: seed's per-value sequential loop vs the
+     chunked pooled path with DET/OPE memos and per-row DRBGs *)
+  let dblog =
+    Workload.Gen_query.skyserver_log
+      { Workload.Gen_query.n = 30; templates = 4; seed = "p2-db";
+        caps = Workload.Gen_query.caps_for_measure M.Result }
+  in
+  let dbscheme = Dpe.Selector.select M.Result (Dpe.Log_profile.of_log dblog) in
+  let rows = 800 in
+  let db = Workload.Gen_db.skyserver ~seed:"p2-db" ~rows in
+  let total_rows =
+    List.fold_left
+      (fun acc t -> acc + Minidb.Table.cardinality t)
+      0 (Minidb.Database.tables db)
+  in
+  let t_base =
+    time_best ~reps:2 (fun () ->
+        seed_encrypt_database (Dpe.Encryptor.create keyring dbscheme) db)
+  in
+  let t_par =
+    time_best ~reps:2 (fun () ->
+        Dpe.Db_encryptor.encrypt_database ~pool
+          (Dpe.Encryptor.create keyring dbscheme) db)
+  in
+  let identical =
+    let seq_pool = Parallel.Pool.create ~domains:1 () in
+    let a =
+      Dpe.Db_encryptor.encrypt_database ~pool:seq_pool
+        (Dpe.Encryptor.create keyring dbscheme) db
+    in
+    let b =
+      Dpe.Db_encryptor.encrypt_database ~pool
+        (Dpe.Encryptor.create keyring dbscheme) db
+    in
+    Parallel.Pool.shutdown seq_pool;
+    db_rows a = db_rows b
+  in
+  push
+    { op = "encrypt_database/skyserver";
+      pe_n = total_rows; pe_domains = domains;
+      baseline_ns = t_base *. 1e9; optimized_ns = t_par *. 1e9; identical };
+
+  (* 3. OPE memo: cold tree descents vs cache hits, same key *)
+  let ope = Crypto.Keyring.ope keyring "p2-ope" in
+  let orng = Crypto.Drbg.create ~seed:"p2-ope" in
+  let n_ope = 2000 in
+  let vals = Array.init n_ope (fun _ -> Crypto.Drbg.uniform_int orng (1 lsl 24)) in
+  let t_cold =
+    time_best (fun () ->
+        Crypto.Ope.cache_clear ope;
+        Array.iter (fun v -> ignore (Crypto.Ope.encrypt ope v)) vals)
+  in
+  let cold = Array.map (Crypto.Ope.encrypt ope) vals in
+  let t_hot =
+    time_best (fun () ->
+        Array.iter (fun v -> ignore (Crypto.Ope.encrypt ope v)) vals)
+  in
+  let hot = Array.map (Crypto.Ope.encrypt ope) vals in
+  push
+    { op = "ope_encrypt/memo";
+      pe_n = n_ope; pe_domains = 1;
+      baseline_ns = t_cold *. 1e9 /. float_of_int n_ope;
+      optimized_ns = t_hot *. 1e9 /. float_of_int n_ope;
+      identical = cold = hot };
+
+  let entries = List.rev !entries in
+  Format.printf "%-28s %-7s %-8s %-14s %-14s %-9s %s@." "op" "n" "domains"
+    "baseline" "optimized" "speedup" "identical";
+  hr ();
+  let pretty ns =
+    if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun e ->
+      Format.printf "%-28s %-7d %-8d %-14s %-14s %-9.2f %b@." e.op e.pe_n
+        e.pe_domains (pretty e.baseline_ns) (pretty e.optimized_ns)
+        (pe_speedup e) e.identical)
+    entries;
+  entries
+
+let emit_perf_json path entries =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"pr\": 1,\n";
+  Printf.fprintf oc "  \"bench\": \"perf --json\",\n";
+  Printf.fprintf oc "  \"recommended_domain_count\": %d,\n"
+    (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"pool_domains\": %d,\n" (Parallel.Pool.default_domains ());
+  Printf.fprintf oc "  \"results\": [\n";
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc
+        "    {\"op\": %S, \"n\": %d, \"domains\": %d, \
+         \"baseline_ns_per_op\": %.0f, \"ns_per_op\": %.0f, \
+         \"speedup\": %.3f, \"identical\": %b}%s\n"
+        e.op e.pe_n e.pe_domains e.baseline_ns e.optimized_ns (pe_speedup e)
+        e.identical
+        (if i = last then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s@." path
+
+(* ---------------------------------------------------------------- *)
 (* A1: ablation — uniform-split OPE vs Boldyreva-style HGD OPE        *)
 (* ---------------------------------------------------------------- *)
 
@@ -809,17 +1002,39 @@ let kmedoids_ablation () =
 
 (* ---------------------------------------------------------------- *)
 
+(* [-- perf --json] additionally writes the machine-readable perf
+   trajectory (op, n, domains, ns/op, speedup) to BENCH_PR1.json *)
+let json_path = ref None
+
+let perf_and_trajectory () =
+  perf ();
+  let entries = perf_parallel () in
+  match !json_path with
+  | Some path -> emit_perf_json path entries
+  | None -> ()
+
 let experiments =
   [ ("fig1", fig1); ("table1", table1); ("preserve", preserve);
-    ("mining", mining); ("security", security); ("perf", perf);
+    ("mining", mining); ("security", security); ("perf", perf_and_trajectory);
     ("ablation-ope", ablation_ope); ("ablation-x", ablation_x);
     ("rules", rules); ("decoys", decoys); ("anchors", anchors);
     ("sessions", sessions); ("ablation-kmedoids", kmedoids_ablation) ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let names =
+    List.filter
+      (fun a ->
+        if a = "--json" then begin
+          json_path := Some "BENCH_PR1.json";
+          false
+        end
+        else true)
+      args
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) ->
+    match names with
+    | _ :: _ ->
       List.filter_map
         (fun n ->
           match List.assoc_opt n experiments with
@@ -829,6 +1044,6 @@ let () =
               (String.concat ", " (List.map fst experiments));
             None)
         names
-    | _ -> experiments
+    | [] -> experiments
   in
   List.iter (fun (_, f) -> f ()) requested

@@ -1,1 +1,1 @@
-lib/crypto/det.ml: Aes128 Block_modes Hmac String
+lib/crypto/det.ml: Aes128 Block_modes Hashtbl Hmac Mutex String

@@ -1,1 +1,1 @@
-lib/crypto/ope.ml: Char Hmac String
+lib/crypto/ope.ml: Char Hashtbl Hmac Mutex String

@@ -20,3 +20,29 @@ let decrypt k ct =
   end
 
 let token = siv_of
+
+(* optional plaintext -> ciphertext memo for bulk encryption: DET is
+   deterministic, so a hit returns exactly what [encrypt] would, and the
+   mutex makes one cache shareable by all domains of a pool *)
+type cache = {
+  tbl : (string, string) Hashtbl.t;
+  lock : Mutex.t;
+  bound : int;
+}
+
+let make_cache ?(bound = 1 lsl 16) () =
+  { tbl = Hashtbl.create 256; lock = Mutex.create (); bound = max 1 bound }
+
+let encrypt_cached cache k msg =
+  Mutex.lock cache.lock;
+  let hit = Hashtbl.find_opt cache.tbl msg in
+  Mutex.unlock cache.lock;
+  match hit with
+  | Some ct -> ct
+  | None ->
+    let ct = encrypt k msg in
+    Mutex.lock cache.lock;
+    if Hashtbl.length cache.tbl >= cache.bound then Hashtbl.reset cache.tbl;
+    Hashtbl.replace cache.tbl msg ct;
+    Mutex.unlock cache.lock;
+    ct

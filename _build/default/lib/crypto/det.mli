@@ -19,3 +19,15 @@ val token : key -> string -> string
 (** [token k msg] is the 16-byte SIV alone — a deterministic, equality-
     testable pseudonym.  Used where only the pseudonym is needed (e.g.
     relation names inside query text). *)
+
+type cache
+(** A bounded, domain-safe plaintext → ciphertext memo.  Because DET is
+    deterministic the cache is transparent: [encrypt_cached c k m] always
+    equals [encrypt k m].  Used by the bulk database encryptor, where
+    column values repeat heavily. *)
+
+val make_cache : ?bound:int -> unit -> cache
+(** [bound] (default 65536) caps the entry count; the cache is dropped
+    wholesale when full. *)
+
+val encrypt_cached : cache -> key -> string -> string

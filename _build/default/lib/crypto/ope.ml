@@ -1,27 +1,76 @@
 type params = { plain_bits : int; cipher_bits : int }
 
-type key = { prf : string; p : params }
+(* Transparent plaintext -> ciphertext memo.  OPE is deterministic, so
+   caching never changes a ciphertext; it only skips the ~plain_bits HMAC
+   tree descents of a repeated plaintext.  Bulk encryption shares keys
+   across domains, hence the mutex. *)
+type cache = {
+  tbl : (int, int) Hashtbl.t;
+  lock : Mutex.t;
+  bound : int;
+}
+
+type key = { prf : string; p : params; cache : cache }
 
 let default_params = { plain_bits = 32; cipher_bits = 48 }
+
+let default_cache_bound = 1 lsl 16
 
 let create ~master ~purpose p =
   if p.plain_bits <= 0 || p.plain_bits >= p.cipher_bits || p.cipher_bits > 55
   then invalid_arg "Ope.create: invalid params";
-  { prf = Hmac.derive ~master ~purpose:("ope/" ^ purpose) 32; p }
+  { prf = Hmac.derive ~master ~purpose:("ope/" ^ purpose) 32;
+    p;
+    cache =
+      { tbl = Hashtbl.create 256;
+        lock = Mutex.create ();
+        bound = default_cache_bound } }
 
 let params k = (k.p.plain_bits, k.p.cipher_bits)
 let max_plain k = (1 lsl k.p.plain_bits) - 1
 
+let cache_size k =
+  Mutex.lock k.cache.lock;
+  let n = Hashtbl.length k.cache.tbl in
+  Mutex.unlock k.cache.lock;
+  n
+
+let cache_clear k =
+  Mutex.lock k.cache.lock;
+  Hashtbl.reset k.cache.tbl;
+  Mutex.unlock k.cache.lock
+
+let cache_find k m =
+  Mutex.lock k.cache.lock;
+  let r = Hashtbl.find_opt k.cache.tbl m in
+  Mutex.unlock k.cache.lock;
+  r
+
+let cache_add k m c =
+  Mutex.lock k.cache.lock;
+  if Hashtbl.length k.cache.tbl >= k.cache.bound then Hashtbl.reset k.cache.tbl;
+  Hashtbl.replace k.cache.tbl m c;
+  Mutex.unlock k.cache.lock
+
 let encode_int v =
   String.init 8 (fun i -> Char.chr ((v lsr (8 * (7 - i))) land 0xff))
 
-(* deterministic uniform draw in [0, n) seeded by the node coordinates;
-   n < 2^56, the 62-bit HMAC output makes the modulo bias negligible *)
+(* deterministic uniform draw in [0, n) seeded by the node coordinates.
+   Exactly uniform: the 62-bit HMAC prefix is rejected when it falls in
+   the final partial multiple of [n] and the hash is re-keyed with an
+   incremented counter (n < 2^56, so a single round rejects with
+   probability < 2^-6; the expected number of HMACs is < 1.02). *)
 let draw key tag a b n =
-  let h = Hmac.hmac_sha256 ~key (tag ^ encode_int a ^ encode_int b) in
-  let v = ref 0 in
-  for i = 0 to 7 do v := ((!v lsl 8) lor Char.code h.[i]) land max_int done;
-  !v mod n
+  let limit = max_int - (max_int mod n) in
+  let rec go ctr =
+    let h =
+      Hmac.hmac_sha256 ~key (tag ^ encode_int ctr ^ encode_int a ^ encode_int b)
+    in
+    let v = ref 0 in
+    for i = 0 to 7 do v := ((!v lsl 8) lor Char.code h.[i]) land max_int done;
+    if !v < limit then !v mod n else go (ctr + 1)
+  in
+  go 0
 
 (* Split point for the node covering plaintexts [plo..phi] and ciphertexts
    [clo..chi]: cs is the highest ciphertext allocated to the left half.
@@ -39,8 +88,7 @@ let node_split k plo phi clo chi =
 let leaf_value k m clo chi =
   clo + draw k.prf "leaf" m m (chi - clo + 1)
 
-let encrypt k m =
-  if m < 0 || m > max_plain k then invalid_arg "Ope.encrypt: out of domain";
+let encrypt_uncached k m =
   let rec go plo phi clo chi =
     if plo = phi then leaf_value k plo clo chi
     else begin
@@ -49,6 +97,15 @@ let encrypt k m =
     end
   in
   go 0 (max_plain k) 0 ((1 lsl k.p.cipher_bits) - 1)
+
+let encrypt k m =
+  if m < 0 || m > max_plain k then invalid_arg "Ope.encrypt: out of domain";
+  match cache_find k m with
+  | Some c -> c
+  | None ->
+    let c = encrypt_uncached k m in
+    cache_add k m c;
+    c
 
 let decrypt k c =
   if c < 0 || c >= 1 lsl k.p.cipher_bits then None

@@ -30,7 +30,20 @@ val max_plain : key -> int
 (** Largest encryptable plaintext, [2^plain_bits - 1]. *)
 
 val encrypt : key -> int -> int
-(** @raise Invalid_argument if the plaintext is outside [[0, 2^plain_bits)]. *)
+(** @raise Invalid_argument if the plaintext is outside [[0, 2^plain_bits)].
+
+    Each key carries a transparent, bounded, domain-safe memo of past
+    encryptions: OPE is deterministic, so a cache hit returns exactly the
+    ciphertext the tree descent would recompute, it only skips the
+    ~[plain_bits] HMAC evaluations.  Every split point is drawn {e exactly}
+    uniformly (rejection sampling over the 62-bit HMAC prefix, re-keyed
+    with a counter on rejection), not merely negligibly-biased. *)
 
 val decrypt : key -> int -> int option
 (** Inverse by binary search; [None] for values not in the image. *)
+
+val cache_size : key -> int
+(** Number of memoized plaintexts (diagnostics for the perf bench). *)
+
+val cache_clear : key -> unit
+(** Drop the memo (never changes ciphertexts — determinism). *)

@@ -1,1 +1,1 @@
-lib/distance/d_result.pp.ml: Array Jaccard List Minidb
+lib/distance/d_result.pp.ml: Array Jaccard List Minidb Parallel

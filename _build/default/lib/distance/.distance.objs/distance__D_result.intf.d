@@ -1,1 +1,1 @@
-lib/distance/d_result.pp.mli: Minidb Sqlir
+lib/distance/d_result.pp.mli: Minidb Parallel Sqlir

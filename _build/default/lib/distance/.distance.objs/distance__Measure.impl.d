@@ -1,1 +1,1 @@
-lib/distance/measure.pp.ml: Array D_access D_clause D_edit D_result D_structure D_token Minidb
+lib/distance/measure.pp.ml: Array D_access D_clause D_edit D_result D_structure D_token Minidb Parallel

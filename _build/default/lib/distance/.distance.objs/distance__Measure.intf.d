@@ -1,1 +1,1 @@
-lib/distance/measure.pp.mli: Minidb Sqlir
+lib/distance/measure.pp.mli: Minidb Parallel Sqlir

@@ -6,18 +6,13 @@ let distance db q1 q2 =
     ~compare:(List.compare Minidb.Value.compare)
     (result_set db q1) (result_set db q2)
 
-let matrix db queries =
-  let sets = Array.of_list (List.map (result_set db) queries) in
-  let n = Array.length sets in
-  let m = Array.make_matrix n n 0.0 in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let d =
-        Jaccard.distance ~compare:(List.compare Minidb.Value.compare)
-          sets.(i) sets.(j)
-      in
-      m.(i).(j) <- d;
-      m.(j).(i) <- d
-    done
-  done;
-  m
+let matrix ?pool db queries =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.global () in
+  (* executing the queries dominates; the pairwise Jaccard pass is cheap
+     by comparison but shares the same pool anyway *)
+  let sets =
+    Parallel.Pool.map_array pool (result_set db) (Array.of_list queries)
+  in
+  Parallel.Sym_matrix.build ~pool (Array.length sets) (fun i j ->
+      Jaccard.distance ~compare:(List.compare Minidb.Value.compare)
+        sets.(i) sets.(j))

@@ -10,7 +10,11 @@ val distance : Minidb.Database.t -> Sqlir.Ast.query -> Sqlir.Ast.query -> float
 val result_set : Minidb.Database.t -> Sqlir.Ast.query -> Minidb.Value.t list list
 (** The deduplicated result tuple set ([result tuples(Q)] of Definition 4). *)
 
-val matrix : Minidb.Database.t -> Sqlir.Ast.query list -> float array array
+val matrix :
+  ?pool:Parallel.Pool.t -> Minidb.Database.t -> Sqlir.Ast.query list
+  -> float array array
 (** The full pairwise distance matrix, evaluating each query {e once}
     instead of once per pair — an O(n) vs O(n²) difference in executor
-    work that dominates result-distance mining (see the perf bench). *)
+    work that dominates result-distance mining (see the perf bench).
+    Query execution and the Jaccard pass run across [pool] (default
+    [Parallel.Pool.global ()]). *)

@@ -48,20 +48,12 @@ let compute ctx measure q1 q2 =
      | Some db -> D_result.distance db q1 q2
      | None -> invalid_arg "Measure.compute: result distance needs a database")
 
-let matrix ctx measure queries =
+let matrix ?pool ctx measure queries =
   match measure, ctx.db with
-  | Result, Some db -> D_result.matrix db queries
+  | Result, Some db -> D_result.matrix ?pool db queries
   | Result, None ->
     invalid_arg "Measure.matrix: result distance needs a database"
   | (Token | Structure | Access | Edit | Clause), _ ->
     let qs = Array.of_list queries in
-    let n = Array.length qs in
-    let m = Array.make_matrix n n 0.0 in
-    for i = 0 to n - 1 do
-      for j = i + 1 to n - 1 do
-        let d = compute ctx measure qs.(i) qs.(j) in
-        m.(i).(j) <- d;
-        m.(j).(i) <- d
-      done
-    done;
-    m
+    Parallel.Sym_matrix.build ?pool (Array.length qs) (fun i j ->
+        compute ctx measure qs.(i) qs.(j))

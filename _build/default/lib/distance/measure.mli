@@ -42,6 +42,11 @@ val needs_domains : t -> bool
 val compute : ctx -> t -> Sqlir.Ast.query -> Sqlir.Ast.query -> float
 (** @raise Invalid_argument if {!Result} is requested without a database. *)
 
-val matrix : ctx -> t -> Sqlir.Ast.query list -> float array array
+val matrix :
+  ?pool:Parallel.Pool.t -> ctx -> t -> Sqlir.Ast.query list
+  -> float array array
 (** The full symmetric pairwise matrix.  Prefer this over calling
-    {!compute} per pair: the result measure evaluates each query once. *)
+    {!compute} per pair: the result measure evaluates each query once.
+    Large matrices are filled across [pool] (default
+    [Parallel.Pool.global ()]); all measures are pure, so the result is
+    identical for every pool size. *)

@@ -1,1 +1,1 @@
-lib/dpe/db_encryptor.pp.ml: Array Encryptor List Minidb Scheme
+lib/dpe/db_encryptor.pp.ml: Array Encryptor List Minidb Parallel Scheme

@@ -1,1 +1,1 @@
-lib/dpe/db_encryptor.pp.mli: Encryptor Minidb
+lib/dpe/db_encryptor.pp.mli: Encryptor Minidb Parallel

@@ -24,21 +24,33 @@ let encrypt_schema enc (s : Schema.t) =
           column_cipher_type enc c.Schema.name c.Schema.ty))
        s.Schema.columns)
 
-let encrypt_table enc table =
+(* Rows are encrypted across the pool.  Determinism contract: row [i] of
+   relation [rel] draws all randomness from [Encryptor.row_rng enc ~rel i]
+   and each column encoder closes over immutable key material, so the
+   ciphertext table depends only on the master key and the plaintext —
+   not on the pool size, the chunk shape or the encryption order.  Key
+   resolution (the only mutation of encryptor state) happens sequentially
+   in [column_encoder] before any domain starts. *)
+let encrypt_table ?pool enc table =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.global () in
   let plain_schema = Table.schema table in
   let names = Schema.column_names plain_schema in
   let cipher_schema = encrypt_schema enc plain_schema in
-  let encrypt_row row =
-    Array.of_list
-      (List.mapi
-         (fun i name -> Encryptor.encrypt_value enc ~attr:name row.(i))
-         names)
+  let encoders =
+    Array.of_list (List.map (fun name -> Encryptor.column_encoder enc ~attr:name) names)
   in
-  Table.map_rows encrypt_row cipher_schema table
+  let rel = plain_schema.Schema.rel in
+  let rows = Array.of_list (Table.rows table) in
+  let encrypt_row i row =
+    let rng = Encryptor.row_rng enc ~rel i in
+    Array.mapi (fun c v -> encoders.(c) ~rng v) row
+  in
+  let cipher_rows = Parallel.Pool.mapi_array pool encrypt_row rows in
+  Table.of_rows cipher_schema (Array.to_list cipher_rows)
 
-let encrypt_database enc db =
+let encrypt_database ?pool enc db =
   List.fold_left
-    (fun acc table -> Database.add_table acc (encrypt_table enc table))
+    (fun acc table -> Database.add_table acc (encrypt_table ?pool enc table))
     Database.empty (Database.tables db)
 
 let decrypt_table enc ~plain_schema table =

@@ -9,9 +9,19 @@
 
 val encrypt_schema : Encryptor.t -> Minidb.Schema.t -> Minidb.Schema.t
 
-val encrypt_table : Encryptor.t -> Minidb.Table.t -> Minidb.Table.t
+val encrypt_table :
+  ?pool:Parallel.Pool.t -> Encryptor.t -> Minidb.Table.t -> Minidb.Table.t
+(** Rows are encrypted in chunks across [pool] (default
+    [Parallel.Pool.global ()]).  Row [i] draws its randomness from a DRBG
+    derived from the master key and [(rel, i)] alone
+    ({!Encryptor.row_rng}), so for a fixed master key the ciphertext table
+    is identical for {e every} pool size, including the sequential
+    fallback.  DET and OPE columns are additionally memoized (repeated
+    plaintexts cost one lookup; both classes are deterministic, so the
+    memo is invisible in the output). *)
 
-val encrypt_database : Encryptor.t -> Minidb.Database.t -> Minidb.Database.t
+val encrypt_database :
+  ?pool:Parallel.Pool.t -> Encryptor.t -> Minidb.Database.t -> Minidb.Database.t
 (** @raise Encryptor.Encrypt_error when a value cannot be represented in
     its column's class (e.g. a string in an OPE column). *)
 

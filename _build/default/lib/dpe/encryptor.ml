@@ -318,6 +318,65 @@ let encrypt_value t ~attr v =
        | v -> err "HOM column %s holds non-integer %s" attr (Value.to_string v))
   end
 
+(* ---- bulk (multi-domain) encryption support ----
+
+   [encrypt_value] draws PROB IVs and Paillier randomness from the
+   encryptor's single sequential DRBG, which bulk row encryption cannot
+   share across domains.  The bulk path instead gives every row its own
+   generator derived from the keyring ([row_rng]) and resolves each
+   column's key material once, up front, into a closure over immutable
+   state ([column_encoder]) that any domain may call. *)
+
+let value_class t ~attr =
+  match t.scheme.Scheme.consts with
+  | Scheme.Global cls -> cls
+  | Scheme.Per_attribute _ -> Scheme.class_for_attr t.scheme attr
+
+let row_rng t ~rel i =
+  Crypto.Keyring.drbg t.keyring (Printf.sprintf "row/%s/%d" rel i)
+
+let column_encoder t ~attr =
+  let nonnull f ~rng v = if Value.is_null v then v else f ~rng v in
+  let det_with key =
+    let cache = Crypto.Det.make_cache () in
+    nonnull (fun ~rng:_ v ->
+        Value.Vstring
+          (Crypto.Hex.encode (Crypto.Det.encrypt_cached cache key (value_render v))))
+  in
+  match value_class t ~attr with
+  | Scheme.C_det ->
+    let purpose = if is_global t then "token" else "const/" ^ attr in
+    det_with (det_key t purpose)
+  | Scheme.C_det_join g -> det_with (join_det_key t g)
+  | Scheme.C_prob ->
+    let purpose = if is_global t then "const-global" else "const/" ^ attr in
+    let key = prob_key t purpose in
+    nonnull (fun ~rng v ->
+        Value.Vstring
+          (Crypto.Hex.encode (Crypto.Prob.encrypt key rng (value_render v))))
+  | Scheme.C_ope ->
+    let key = ope_key t ("const/" ^ attr) in
+    nonnull (fun ~rng:_ v ->
+        match v with
+        | Value.Vint n -> Value.Vint (ope_int key n)
+        | v -> err "OPE column %s holds non-integer %s" attr (Value.to_string v))
+  | Scheme.C_ope_join g ->
+    let key = join_ope_key t g in
+    nonnull (fun ~rng:_ v ->
+        match v with
+        | Value.Vint n -> Value.Vint (ope_int key n)
+        | v ->
+          err "OPE join column %s holds non-integer %s" attr (Value.to_string v))
+  | Scheme.C_hom ->
+    let pub, _ = paillier t in
+    nonnull (fun ~rng v ->
+        match v with
+        | Value.Vint n ->
+          Value.Vstring
+            (Crypto.Hex.encode
+               (Crypto.Paillier.serialize (Crypto.Paillier.encrypt_int pub rng n)))
+        | v -> err "HOM column %s holds non-integer %s" attr (Value.to_string v))
+
 let decrypt_value t ~attr v =
   if Value.is_null v then Ok v
   else begin

@@ -47,6 +47,30 @@ val encrypt_value : t -> attr:string -> Minidb.Value.t -> Minidb.Value.t
 
 val decrypt_value : t -> attr:string -> Minidb.Value.t -> (Minidb.Value.t, string) result
 
+(** {2 Bulk (multi-domain) encryption}
+
+    {!Db_encryptor} encrypts row blocks across a {!Parallel.Pool}.  The
+    shared sequential DRBG behind {!encrypt_value} cannot cross domains,
+    so the bulk path derives an independent generator per row and bakes
+    each column's key material into a domain-safe closure. *)
+
+val row_rng : t -> rel:string -> int -> Crypto.Drbg.t
+(** [row_rng t ~rel i] is the DRBG for row [i] of relation [rel], derived
+    from the keyring master alone — independent of encryption order, chunk
+    shape and pool size, which is what makes bulk encryption deterministic
+    for a fixed master key (see DESIGN.md, "Parallel architecture"). *)
+
+val column_encoder :
+  t -> attr:string -> rng:Crypto.Drbg.t -> Minidb.Value.t -> Minidb.Value.t
+(** [column_encoder t ~attr] resolves the column's keys (not domain-safe;
+    call it before going parallel) and returns a closure over immutable
+    key material that encrypts one value, drawing any randomness from
+    [rng].  Deterministic classes (DET, OPE and their join variants) keep
+    a transparent memo, so repeated values cost one table lookup.
+    Ciphertexts agree with {!encrypt_value} for DET/OPE classes; PROB/HOM
+    ciphertexts are fresh randomizations under the same keys.
+    @raise Encrypt_error as {!encrypt_value}. *)
+
 val encrypt_result_tuple :
   t -> Minidb.Executor.provenance list -> Minidb.Value.t list -> Minidb.Value.t list
 (** Encrypt a plaintext result tuple column-wise according to where each

@@ -1,1 +1,1 @@
-lib/mining/dist_matrix.ml: Array Float Printf
+lib/mining/dist_matrix.ml: Array Float Parallel Printf

@@ -1,1 +1,1 @@
-lib/mining/dist_matrix.mli:
+lib/mining/dist_matrix.mli: Parallel

@@ -1,46 +1,42 @@
 type t = float array array
 
-let of_fun n d =
-  let m = Array.make_matrix n n 0.0 in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let v = d i j in
-      m.(i).(j) <- v;
-      m.(j).(i) <- v
-    done
-  done;
-  m
+let of_fun_seq n d = Parallel.Sym_matrix.build_seq n d
+let of_fun ?pool n d = Parallel.Sym_matrix.build ?pool n d
 
 let size (m : t) = Array.length m
 let get (m : t) i j = m.(i).(j)
 
+exception Bad of string
+
 let validate m =
   let n = size m in
-  let problem = ref None in
-  let set p = if !problem = None then problem := Some p in
-  Array.iteri
-    (fun i row -> if Array.length row <> n then
-        set (Printf.sprintf "row %d has length %d, expected %d" i (Array.length row) n))
-    m;
-  if !problem = None then begin
+  let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  try
+    Array.iteri
+      (fun i row ->
+        if Array.length row <> n then
+          bad "row %d has length %d, expected %d" i (Array.length row) n)
+      m;
     for i = 0 to n - 1 do
-      if m.(i).(i) <> 0.0 then set (Printf.sprintf "diagonal (%d,%d) is %g" i i m.(i).(i));
+      if m.(i).(i) <> 0.0 then bad "diagonal (%d,%d) is %g" i i m.(i).(i);
       for j = i + 1 to n - 1 do
-        if m.(i).(j) <> m.(j).(i) then
-          set (Printf.sprintf "asymmetry at (%d,%d)" i j);
-        if m.(i).(j) < 0.0 then set (Printf.sprintf "negative distance at (%d,%d)" i j)
+        if m.(i).(j) <> m.(j).(i) then bad "asymmetry at (%d,%d)" i j;
+        if m.(i).(j) < 0.0 then bad "negative distance at (%d,%d)" i j
       done
-    done
-  end;
-  match !problem with None -> Ok () | Some p -> Error p
+    done;
+    Ok ()
+  with Bad p -> Error p
 
 let max_abs_diff a b =
   let n = size a in
   if size b <> n then invalid_arg "Dist_matrix.max_abs_diff: size mismatch";
   let worst = ref 0.0 in
   for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      let d = Float.abs (a.(i).(j) -. b.(i).(j)) in
+    let ra = a.(i) and rb = b.(i) in
+    (* distance matrices are symmetric: the upper triangle (diagonal
+       included) covers every distinct entry at half the cost *)
+    for j = i to n - 1 do
+      let d = Float.abs (ra.(j) -. rb.(j)) in
       if d > !worst then worst := d
     done
   done;

@@ -4,14 +4,25 @@
 
 type t = float array array
 
-val of_fun : int -> (int -> int -> float) -> t
-(** [of_fun n d] evaluates [d i j] for [i < j] and mirrors it. *)
+val of_fun : ?pool:Parallel.Pool.t -> int -> (int -> int -> float) -> t
+(** [of_fun n d] evaluates [d i j] for [i < j] and mirrors it.  For
+    [n >= Parallel.Sym_matrix.par_threshold] the rows are computed across
+    [pool] (default [Parallel.Pool.global ()]); [d] must be pure, and the
+    result is bit-for-bit identical to the sequential evaluation for every
+    pool size. *)
+
+val of_fun_seq : int -> (int -> int -> float) -> t
+(** Sequential reference implementation of {!of_fun} (what [of_fun]
+    degrades to on a 1-lane pool or small [n]). *)
 
 val size : t -> int
 val get : t -> int -> int -> float
 
 val validate : t -> (unit, string) result
-(** Checks squareness, zero diagonal, symmetry and non-negativity. *)
+(** Checks squareness, zero diagonal, symmetry and non-negativity,
+    scanning only the upper triangle and stopping at the first problem. *)
 
 val max_abs_diff : t -> t -> float
-(** Largest entrywise deviation between two matrices of the same size. *)
+(** Largest entrywise deviation between two matrices of the same size.
+    Both arguments are assumed symmetric (as every distance matrix is),
+    so only the upper triangle, diagonal included, is scanned. *)

@@ -1,0 +1,1 @@
+lib/parallel/pool.ml: Array Condition Domain List Mutex Queue String Sys

@@ -1,0 +1,1 @@
+lib/parallel/sym_matrix.mli: Pool

@@ -1,0 +1,167 @@
+type t = {
+  lanes : int;
+  mutex : Mutex.t;
+  pending : (unit -> unit) Queue.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_domains () =
+  let fallback = max 1 (Domain.recommended_domain_count () - 1) in
+  match Sys.getenv_opt "KITDPE_DOMAINS" with
+  | None -> fallback
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ -> fallback)
+
+let size t = t.lanes
+
+(* Workers block on [nonempty] until a task is queued or the pool closes.
+   Tasks never raise: they are wrapped by [run_tasks]. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    match Queue.take_opt t.pending with
+    | Some job ->
+      Mutex.unlock t.mutex;
+      Some job
+    | None ->
+      if t.closed then begin
+        Mutex.unlock t.mutex;
+        None
+      end
+      else begin
+        Condition.wait t.nonempty t.mutex;
+        next ()
+      end
+  in
+  match next () with
+  | None -> ()
+  | Some job ->
+    job ();
+    worker_loop t
+
+let create ?domains () =
+  let lanes = max 1 (match domains with Some d -> d | None -> default_domains ()) in
+  let t =
+    { lanes;
+      mutex = Mutex.create ();
+      pending = Queue.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      workers = [] }
+  in
+  if lanes > 1 then
+    t.workers <- List.init (lanes - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let global_mutex = Mutex.create ()
+let global_pool = ref None
+
+let global () =
+  Mutex.lock global_mutex;
+  let p =
+    match !global_pool with
+    | Some p -> p
+    | None ->
+      let p = create () in
+      global_pool := Some p;
+      at_exit (fun () -> shutdown p);
+      p
+  in
+  Mutex.unlock global_mutex;
+  p
+
+let run_seq tasks = List.iter (fun f -> f ()) tasks
+
+let run_tasks t tasks =
+  match tasks with
+  | [] -> ()
+  | [ f ] -> f ()
+  | _ when t.lanes <= 1 || t.closed -> run_seq tasks
+  | _ ->
+    let remaining = ref (List.length tasks) in
+    let first_exn = ref None in
+    let batch_done = Condition.create () in
+    let wrap f () =
+      (try f ()
+       with e ->
+         Mutex.lock t.mutex;
+         if !first_exn = None then first_exn := Some e;
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast batch_done;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    List.iter (fun f -> Queue.add (wrap f) t.pending) tasks;
+    Condition.broadcast t.nonempty;
+    (* The caller is a lane too: drain jobs (from this or any concurrent
+       batch — that is what makes nested calls deadlock-free) until this
+       batch is complete. *)
+    let rec help () =
+      match Queue.take_opt t.pending with
+      | Some job ->
+        Mutex.unlock t.mutex;
+        job ();
+        Mutex.lock t.mutex;
+        if !remaining > 0 then help ()
+      | None -> if !remaining > 0 then begin
+          Condition.wait batch_done t.mutex;
+          help ()
+        end
+    in
+    help ();
+    Mutex.unlock t.mutex;
+    (match !first_exn with Some e -> raise e | None -> ())
+
+(* below this many indices the bookkeeping costs more than it saves *)
+let seq_cutoff = 2
+
+let for_range t n f =
+  if n > 0 then begin
+    if t.lanes <= 1 || n <= seq_cutoff then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let stripes = min n (t.lanes * 4) in
+      run_tasks t
+        (List.init stripes (fun s () ->
+             let i = ref s in
+             while !i < n do
+               f !i;
+               i := !i + stripes
+             done))
+    end
+  end
+
+let map_range t n f =
+  if n <= 0 then [||]
+  else begin
+    (* seed the array with [f 0] so no dummy element is needed *)
+    let res = Array.make n (f 0) in
+    if n > 1 then begin
+      if t.lanes <= 1 then
+        for i = 1 to n - 1 do
+          res.(i) <- f i
+        done
+      else
+        for_range t (n - 1) (fun i -> res.(i + 1) <- f (i + 1))
+    end;
+    res
+  end
+
+let mapi_array t f a = map_range t (Array.length a) (fun i -> f i a.(i))
+let map_array t f a = mapi_array t (fun _ x -> f x) a

@@ -1,0 +1,73 @@
+(** A fixed-size pool of OCaml 5 domains for data-parallel hot paths.
+
+    The pool owns [size - 1] worker domains blocking on a shared task
+    queue; the caller of a bulk operation participates as the remaining
+    lane, so a pool of size [k] computes with [k] domains total.  Work is
+    partitioned statically (strided, no work stealing) which is enough for
+    the regular workloads here — distance matrices and bulk row
+    encryption.
+
+    A pool of size 1 spawns no domains at all and runs every operation
+    sequentially in the caller, so library code can thread a pool
+    unconditionally and keep a zero-overhead sequential fallback.
+
+    Determinism: none of the combinators change *what* is computed, only
+    *where*.  Every [map_*]/[for_range] call applies a caller-supplied
+    function to each index exactly once and stores the result at that
+    index, so for a pure function the output is bit-for-bit identical for
+    every pool size (including 1).  Functions that close over mutable
+    state must be domain-safe; all uses in this repository close over
+    immutable data only.
+
+    Nested use is safe: a task that itself calls a pool combinator helps
+    drain the shared queue while waiting, so progress is guaranteed even
+    when every worker is blocked on an inner batch. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] builds a pool of [domains] total lanes
+    ([domains - 1] spawned worker domains plus the caller).  Values [< 1]
+    are clamped to 1.  Without [~domains] the size is
+    {!default_domains}[ ()]. *)
+
+val default_domains : unit -> int
+(** Pool size used by {!create} and {!global} when none is given: the
+    value of the [KITDPE_DOMAINS] environment variable if it parses as a
+    positive integer, else [max 1 (Domain.recommended_domain_count () - 1)]
+    (one core is left to the OS / main program). *)
+
+val size : t -> int
+(** Total number of lanes (worker domains + caller), [>= 1]. *)
+
+val global : unit -> t
+(** The process-wide shared pool, created on first use with
+    {!default_domains} lanes and shut down automatically at exit.  This is
+    the pool used by [Mining.Dist_matrix], [Distance.Measure.matrix] and
+    [Dpe.Db_encryptor] when the caller does not supply one. *)
+
+val run_tasks : t -> (unit -> unit) list -> unit
+(** Run the thunks to completion, across all lanes.  The caller executes
+    tasks too.  If any task raises, [run_tasks] still waits for the whole
+    batch and then re-raises the first exception observed. *)
+
+val for_range : t -> int -> (int -> unit) -> unit
+(** [for_range p n f] calls [f i] exactly once for every [0 <= i < n],
+    distributing indices across lanes in strides (lane [w] of [k] handles
+    [w, w+k, w+2k, ...]), which balances triangular workloads such as
+    distance-matrix rows.  Sequential when [n] is small or [size p = 1]. *)
+
+val map_range : t -> int -> (int -> 'a) -> 'a array
+(** [map_range p n f] is [Array.init n f] evaluated across the pool
+    ([f 0] runs first, in the caller, to seed the result array). *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array p f a] is [Array.map f a] evaluated across the pool. *)
+
+val mapi_array : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** [mapi_array p f a] is [Array.mapi f a] evaluated across the pool. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains.  Call only when no bulk
+    operation is in flight; further use of the pool falls back to
+    sequential execution.  Idempotent. *)

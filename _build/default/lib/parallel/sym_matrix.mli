@@ -1,0 +1,17 @@
+(** Parallel construction of symmetric matrices with a zero diagonal —
+    the shape of every pairwise distance matrix in this repository. *)
+
+val par_threshold : int
+(** Minimum dimension for which {!build} goes parallel; below it the
+    n(n-1)/2 evaluations are too cheap to amortize task dispatch. *)
+
+val build_seq : int -> (int -> int -> float) -> float array array
+(** [build_seq n d] evaluates [d i j] for [i < j] and mirrors it, in the
+    caller, row by row — the sequential reference implementation. *)
+
+val build : ?pool:Pool.t -> int -> (int -> int -> float) -> float array array
+(** As {!build_seq}, with rows computed across [pool] (default
+    {!Pool.global}[ ()]) when [n >= par_threshold] and the pool has more
+    than one lane.  [d] must be pure (or at least domain-safe); each cell
+    is evaluated exactly once, so the result is bit-for-bit equal to
+    [build_seq n d]. *)

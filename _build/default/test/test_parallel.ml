@@ -1,0 +1,292 @@
+(* Tests for the parallel subsystem (PR 1): domain pool semantics,
+   parallel == sequential distance matrices, OPE/DET cache transparency,
+   and deterministic bulk encryption across pool sizes. *)
+
+let keyring = Crypto.Keyring.of_passphrase "test-parallel"
+
+let with_pool ?domains f =
+  let p = Parallel.Pool.create ?domains () in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown p) (fun () -> f p)
+
+(* ---- pool semantics ---- *)
+
+let test_pool_sizes () =
+  with_pool ~domains:1 (fun p ->
+      Alcotest.(check int) "1 lane" 1 (Parallel.Pool.size p));
+  with_pool ~domains:4 (fun p ->
+      Alcotest.(check int) "4 lanes" 4 (Parallel.Pool.size p));
+  with_pool ~domains:0 (fun p ->
+      Alcotest.(check int) "clamped to 1" 1 (Parallel.Pool.size p));
+  with_pool ~domains:(-3) (fun p ->
+      Alcotest.(check int) "negative clamped" 1 (Parallel.Pool.size p))
+
+let test_map_edge_cases () =
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun p ->
+          Alcotest.(check (array int)) "n=0" [||]
+            (Parallel.Pool.map_range p 0 (fun i -> i));
+          Alcotest.(check (array int)) "n=1" [| 100 |]
+            (Parallel.Pool.map_range p 1 (fun i -> i + 100));
+          Alcotest.(check (array int)) "n=1000"
+            (Array.init 1000 (fun i -> i * i))
+            (Parallel.Pool.map_range p 1000 (fun i -> i * i));
+          Alcotest.(check (array string)) "map_array"
+            [| "0a"; "1b"; "2c" |]
+            (Parallel.Pool.mapi_array p
+               (fun i s -> string_of_int i ^ s)
+               [| "a"; "b"; "c" |])))
+    [ 1; 2; 4 ]
+
+let test_for_range_covers_once () =
+  with_pool ~domains:4 (fun p ->
+      let n = 513 in
+      let hits = Array.make n 0 in
+      let lock = Mutex.create () in
+      Parallel.Pool.for_range p n (fun i ->
+          Mutex.lock lock;
+          hits.(i) <- hits.(i) + 1;
+          Mutex.unlock lock);
+      Alcotest.(check (array int)) "each index exactly once"
+        (Array.make n 1) hits;
+      Parallel.Pool.for_range p 0 (fun _ -> failwith "must not run"))
+
+let test_exception_propagates () =
+  with_pool ~domains:2 (fun p ->
+      let ran = ref 0 in
+      let lock = Mutex.create () in
+      let bump () = Mutex.lock lock; incr ran; Mutex.unlock lock in
+      (match
+         Parallel.Pool.run_tasks p
+           [ bump; (fun () -> failwith "boom"); bump; bump ]
+       with
+       | () -> Alcotest.fail "expected Failure"
+       | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+      Alcotest.(check int) "other tasks still ran" 3 !ran)
+
+let test_nested_pool_use () =
+  with_pool ~domains:3 (fun p ->
+      let total =
+        Parallel.Pool.map_range p 8 (fun i ->
+            Array.fold_left ( + ) 0
+              (Parallel.Pool.map_range p 50 (fun j -> (i * 50) + j)))
+        |> Array.fold_left ( + ) 0
+      in
+      Alcotest.(check int) "nested sum" (400 * 399 / 2) total)
+
+(* ---- distance matrices ---- *)
+
+let pseudo_distance i j =
+  (* pure, irregular, cheap *)
+  Float.abs (sin (float_of_int ((i * 7919) lxor (j * 104729))))
+
+let check_same_matrix name a b =
+  Alcotest.(check bool) name true (a = b)
+
+let test_of_fun_matches_seq () =
+  let n = 200 in
+  let reference = Mining.Dist_matrix.of_fun_seq n pseudo_distance in
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun p ->
+          check_same_matrix
+            (Printf.sprintf "n=%d domains=%d" n domains)
+            reference
+            (Mining.Dist_matrix.of_fun ~pool:p n pseudo_distance)))
+    [ 1; 2; 3; 4 ];
+  with_pool ~domains:4 (fun p ->
+      List.iter
+        (fun n ->
+          check_same_matrix
+            (Printf.sprintf "small n=%d" n)
+            (Mining.Dist_matrix.of_fun_seq n pseudo_distance)
+            (Mining.Dist_matrix.of_fun ~pool:p n pseudo_distance))
+        [ 0; 1; 2; 5; 63; 65 ])
+
+let test_measure_matrix_matches_seq () =
+  let log =
+    Workload.Gen_query.skyserver_log
+      { Workload.Gen_query.n = 80; templates = 4; seed = "par-mm";
+        caps = Workload.Gen_query.caps_full }
+  in
+  let qs = Array.of_list log in
+  let ctx = Distance.Measure.default_ctx in
+  List.iter
+    (fun m ->
+      let reference =
+        Mining.Dist_matrix.of_fun_seq (Array.length qs) (fun i j ->
+            Distance.Measure.compute ctx m qs.(i) qs.(j))
+      in
+      with_pool ~domains:3 (fun p ->
+          check_same_matrix
+            ("measure " ^ Distance.Measure.to_string m)
+            reference
+            (Distance.Measure.matrix ~pool:p ctx m log)))
+    [ Distance.Measure.Token; Distance.Measure.Edit;
+      Distance.Measure.Structure; Distance.Measure.Access ]
+
+(* ---- dist-matrix satellites: validate / max_abs_diff ---- *)
+
+let test_validate () =
+  let ok = Mining.Dist_matrix.of_fun_seq 5 pseudo_distance in
+  Alcotest.(check bool) "valid" true (Mining.Dist_matrix.validate ok = Ok ());
+  let asym = Array.map Array.copy ok in
+  asym.(1).(3) <- asym.(1).(3) +. 1.0;
+  Alcotest.(check bool) "asymmetry detected" true
+    (Result.is_error (Mining.Dist_matrix.validate asym));
+  let neg = Array.map Array.copy ok in
+  neg.(0).(2) <- -1.0;
+  neg.(2).(0) <- -1.0;
+  Alcotest.(check bool) "negative detected" true
+    (Result.is_error (Mining.Dist_matrix.validate neg));
+  let diag = Array.map Array.copy ok in
+  diag.(2).(2) <- 0.5;
+  Alcotest.(check bool) "diagonal detected" true
+    (Result.is_error (Mining.Dist_matrix.validate diag));
+  let ragged = [| [| 0.0; 1.0 |]; [| 1.0 |] |] in
+  Alcotest.(check bool) "ragged detected" true
+    (Result.is_error (Mining.Dist_matrix.validate ragged))
+
+let test_max_abs_diff () =
+  let a = Mining.Dist_matrix.of_fun_seq 6 pseudo_distance in
+  Alcotest.(check (float 0.0)) "self" 0.0 (Mining.Dist_matrix.max_abs_diff a a);
+  let b = Array.map Array.copy a in
+  b.(2).(4) <- b.(2).(4) +. 0.25;
+  b.(4).(2) <- b.(2).(4);
+  Alcotest.(check (float 1e-12)) "perturbed" 0.25
+    (Mining.Dist_matrix.max_abs_diff a b)
+
+(* ---- OPE cache transparency & exact-uniform draws ---- *)
+
+let test_ope_cache_transparent () =
+  let params = { Crypto.Ope.plain_bits = 16; cipher_bits = 24 } in
+  let mk () = Crypto.Ope.create ~master:"ope-cache" ~purpose:"t" params in
+  let k1 = mk () and k2 = mk () in
+  let rng = Crypto.Drbg.create ~seed:"ope-cache-test" in
+  let plains = List.init 400 (fun _ -> Crypto.Drbg.uniform_int rng 300) in
+  List.iter
+    (fun m ->
+      let c_warm = Crypto.Ope.encrypt k1 m in
+      (* k2 sees each plaintext for the first time later / in a different
+         order; the memo must be invisible *)
+      Alcotest.(check int) "cached = fresh" (Crypto.Ope.encrypt k2 m) c_warm;
+      Alcotest.(check int) "hit = first" c_warm (Crypto.Ope.encrypt k1 m);
+      Alcotest.(check (option int)) "roundtrip" (Some m)
+        (Crypto.Ope.decrypt k1 c_warm))
+    plains;
+  Alcotest.(check bool) "memo populated" true (Crypto.Ope.cache_size k1 > 0);
+  let m = List.hd plains in
+  let before = Crypto.Ope.encrypt k1 m in
+  Crypto.Ope.cache_clear k1;
+  Alcotest.(check int) "clear preserves ciphertexts" before
+    (Crypto.Ope.encrypt k1 m)
+
+let test_ope_monotone () =
+  let k =
+    Crypto.Ope.create ~master:"ope-mono" ~purpose:"t"
+      { Crypto.Ope.plain_bits = 12; cipher_bits = 20 }
+  in
+  let n = 1 lsl 12 in
+  let cs = Array.init n (Crypto.Ope.encrypt k) in
+  Alcotest.(check bool) "strictly monotone" true
+    (Array.for_all Fun.id (Array.init (n - 1) (fun i -> cs.(i) < cs.(i + 1))));
+  Alcotest.(check bool) "in range" true
+    (Array.for_all (fun c -> c >= 0 && c < 1 lsl 20) cs)
+
+let test_det_cache_transparent () =
+  let k = Crypto.Det.key_of_master ~master:"det-cache" ~purpose:"t" in
+  let cache = Crypto.Det.make_cache ~bound:8 () in
+  List.iter
+    (fun msg ->
+      let plain = Crypto.Det.encrypt k msg in
+      Alcotest.(check string) "miss = plain encrypt" plain
+        (Crypto.Det.encrypt_cached cache k msg);
+      Alcotest.(check string) "hit = plain encrypt" plain
+        (Crypto.Det.encrypt_cached cache k msg))
+    (List.init 40 (fun i -> "msg-" ^ string_of_int (i mod 13)))
+
+(* ---- deterministic bulk encryption ---- *)
+
+let result_scheme log = Dpe.Selector.select Distance.Measure.Result
+    (Dpe.Log_profile.of_log log)
+
+let test_encrypt_table_deterministic () =
+  let log =
+    Workload.Gen_query.skyserver_log
+      { Workload.Gen_query.n = 30; templates = 4; seed = "par-db";
+        caps = Workload.Gen_query.caps_for_measure Distance.Measure.Result }
+  in
+  let scheme = result_scheme log in
+  let db = Workload.Gen_db.skyserver ~seed:"par-db" ~rows:80 in
+  let encrypt_with pool =
+    (* a fresh encryptor per run: bulk output must not depend on any
+       encryptor-internal stream state *)
+    let enc = Dpe.Encryptor.create keyring scheme in
+    Dpe.Db_encryptor.encrypt_database ~pool enc db
+  in
+  let tables d =
+    List.map
+      (fun t -> (Minidb.Table.schema t, Minidb.Table.rows t))
+      (Minidb.Database.tables d)
+  in
+  let reference = with_pool ~domains:1 (fun p -> tables (encrypt_with p)) in
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "domains=%d == sequential" domains)
+            true
+            (tables (encrypt_with p) = reference)))
+    [ 1; 2; 4 ]
+
+let test_encrypt_table_roundtrip () =
+  let log =
+    Workload.Gen_query.skyserver_log
+      { Workload.Gen_query.n = 30; templates = 4; seed = "par-rt";
+        caps = Workload.Gen_query.caps_for_measure Distance.Measure.Result }
+  in
+  let enc = Dpe.Encryptor.create keyring (result_scheme log) in
+  let db = Workload.Gen_db.skyserver ~seed:"par-rt" ~rows:60 in
+  with_pool ~domains:4 (fun p ->
+      List.iter
+        (fun table ->
+          let cipher = Dpe.Db_encryptor.encrypt_table ~pool:p enc table in
+          match
+            Dpe.Db_encryptor.decrypt_table enc
+              ~plain_schema:(Minidb.Table.schema table) cipher
+          with
+          | Error e -> Alcotest.fail e
+          | Ok back ->
+            Alcotest.(check bool) "decrypt inverts parallel encrypt" true
+              (Minidb.Table.rows back = Minidb.Table.rows table))
+        (Minidb.Database.tables db))
+
+let () =
+  Alcotest.run "parallel"
+    [ ("pool",
+       [ Alcotest.test_case "sizes & clamping" `Quick test_pool_sizes;
+         Alcotest.test_case "map edge cases" `Quick test_map_edge_cases;
+         Alcotest.test_case "for_range covers once" `Quick
+           test_for_range_covers_once;
+         Alcotest.test_case "exception propagates" `Quick
+           test_exception_propagates;
+         Alcotest.test_case "nested use" `Quick test_nested_pool_use ]);
+      ("dist-matrix",
+       [ Alcotest.test_case "of_fun == sequential" `Quick
+           test_of_fun_matches_seq;
+         Alcotest.test_case "measure matrix == sequential" `Quick
+           test_measure_matrix_matches_seq;
+         Alcotest.test_case "validate short-circuits" `Quick test_validate;
+         Alcotest.test_case "max_abs_diff upper triangle" `Quick
+           test_max_abs_diff ]);
+      ("caches",
+       [ Alcotest.test_case "OPE memo transparent" `Quick
+           test_ope_cache_transparent;
+         Alcotest.test_case "OPE still monotone" `Quick test_ope_monotone;
+         Alcotest.test_case "DET memo transparent" `Quick
+           test_det_cache_transparent ]);
+      ("bulk-encryption",
+       [ Alcotest.test_case "deterministic across pool sizes" `Quick
+           test_encrypt_table_deterministic;
+         Alcotest.test_case "parallel encrypt decrypts" `Quick
+           test_encrypt_table_roundtrip ]) ]
