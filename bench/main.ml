@@ -5,7 +5,8 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- fig1    -- only Fig. 1
      ... fig1 | table1 | preserve | mining | security | perf
-     dune exec bench/main.exe -- perf --json   -- also write BENCH_PR1.json
+     dune exec bench/main.exe -- perf --json            -- write BENCH_PR1.json
+     dune exec bench/main.exe -- perf --json=perf.json  -- explicit output path
 
    See DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
    recorded paper-vs-measured outcomes. *)
@@ -638,14 +639,25 @@ let perf_parallel () =
     entries;
   entries
 
-let emit_perf_json path entries =
+let emit_perf_json ~metrics path entries =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"pr\": 1,\n";
+  Printf.fprintf oc "  \"pr\": 2,\n";
   Printf.fprintf oc "  \"bench\": \"perf --json\",\n";
+  (* host metadata, so a snapshot from a single-CPU runner is
+     self-describing next to one from a many-core box *)
+  Printf.fprintf oc "  \"ocaml_version\": %S,\n" Sys.ocaml_version;
+  Printf.fprintf oc "  \"os_type\": %S,\n" Sys.os_type;
+  Printf.fprintf oc "  \"word_size\": %d,\n" Sys.word_size;
+  Printf.fprintf oc "  \"host_cpus\": %d,\n" (Domain.recommended_domain_count ());
   Printf.fprintf oc "  \"recommended_domain_count\": %d,\n"
     (Domain.recommended_domain_count ());
   Printf.fprintf oc "  \"pool_domains\": %d,\n" (Parallel.Pool.default_domains ());
+  Printf.fprintf oc "  \"kitdpe_domains_env\": %s,\n"
+    (match Sys.getenv_opt "KITDPE_DOMAINS" with
+     | Some s -> Printf.sprintf "%S" s
+     | None -> "null");
+  Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
   Printf.fprintf oc "  \"results\": [\n";
   let last = List.length entries - 1 in
   List.iteri
@@ -658,7 +670,9 @@ let emit_perf_json path entries =
         e.identical
         (if i = last then "" else ","))
     entries;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"metrics\": %s\n" metrics;
+  Printf.fprintf oc "}\n";
   close_out oc;
   Format.printf "@.wrote %s@." path
 
@@ -1002,15 +1016,54 @@ let kmedoids_ablation () =
 
 (* ---------------------------------------------------------------- *)
 
-(* [-- perf --json] additionally writes the machine-readable perf
-   trajectory (op, n, domains, ns/op, speedup) to BENCH_PR1.json *)
+(* [-- perf --json [PATH]] additionally writes the machine-readable perf
+   trajectory (op, n, domains, ns/op, speedup) plus a kitdpe.* metrics
+   snapshot; the path defaults to BENCH_PR1.json for compatibility *)
 let json_path = ref None
+let json_default = "BENCH_PR1.json"
+
+(* A metrics snapshot for the JSON artifact.  If telemetry was already on
+   (KITDPE_OBS=1) the snapshot keeps whatever the timed runs above
+   accumulated; otherwise telemetry is switched on just for a small fixed
+   workload that touches every instrumented layer, so the snapshot is
+   populated without perturbing the timings. *)
+let metered_metrics_snapshot () =
+  let was_on = Obs.is_enabled () in
+  if not was_on then begin
+    Obs.set_enabled true;
+    Obs.Registry.reset ();
+    Obs.Span.clear ()
+  end;
+  let log =
+    Workload.Gen_query.skyserver_log
+      { Workload.Gen_query.n = 40; templates = 4; seed = "p2-obs";
+        caps = Workload.Gen_query.caps_for_measure M.Access }
+  in
+  let scheme = Dpe.Selector.select M.Access (Dpe.Log_profile.of_log log) in
+  let enc = Dpe.Encryptor.create keyring scheme in
+  let cipher = Dpe.Encryptor.encrypt_log enc log in
+  ignore (Dpe.Encryptor.encrypt_log enc log); (* warm pass: memo-cache hits *)
+  let dm = Dpe.Verdict.distance_matrix M.default_ctx M.Access cipher in
+  ignore (Mining.Hier.cut_k 4 dm);
+  let db = Workload.Gen_db.skyserver ~seed:"p2-obs" ~rows:60 in
+  let rlog =
+    Workload.Gen_query.skyserver_log
+      { Workload.Gen_query.n = 20; templates = 4; seed = "p2-obs";
+        caps = Workload.Gen_query.caps_for_measure M.Result }
+  in
+  let rscheme = Dpe.Selector.select M.Result (Dpe.Log_profile.of_log rlog) in
+  ignore
+    (Dpe.Db_encryptor.encrypt_database
+       (Dpe.Encryptor.create keyring rscheme) db);
+  let snap = Obs.Registry.dump_json () in
+  if not was_on then Obs.set_enabled false;
+  snap
 
 let perf_and_trajectory () =
   perf ();
   let entries = perf_parallel () in
   match !json_path with
-  | Some path -> emit_perf_json path entries
+  | Some path -> emit_perf_json ~metrics:(metered_metrics_snapshot ()) path entries
   | None -> ()
 
 let experiments =
@@ -1020,18 +1073,31 @@ let experiments =
     ("rules", rules); ("decoys", decoys); ("anchors", anchors);
     ("sessions", sessions); ("ablation-kmedoids", kmedoids_ablation) ]
 
+(* [--json] alone keeps the legacy default path; [--json PATH] and
+   [--json=PATH] name the output file.  A bare word after [--json] that
+   names an experiment is an experiment, not a path. *)
+let rec parse_args = function
+  | [] -> []
+  | "--json" :: rest -> (
+    match rest with
+    | path :: rest'
+      when String.length path > 0
+           && path.[0] <> '-'
+           && not (List.mem_assoc path experiments) ->
+      json_path := Some path;
+      parse_args rest'
+    | _ ->
+      json_path := Some json_default;
+      parse_args rest)
+  | arg :: rest
+    when String.length arg > 7 && String.sub arg 0 7 = "--json=" ->
+    json_path := Some (String.sub arg 7 (String.length arg - 7));
+    parse_args rest
+  | arg :: rest -> arg :: parse_args rest
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let names =
-    List.filter
-      (fun a ->
-        if a = "--json" then begin
-          json_path := Some "BENCH_PR1.json";
-          false
-        end
-        else true)
-      args
-  in
+  let names = parse_args args in
   let requested =
     match names with
     | _ :: _ ->

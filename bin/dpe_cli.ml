@@ -10,7 +10,8 @@
      dpe_cli decrypt -m token -p secret cipher.sql
      dpe_cli verify -m structure -p secret log.sql
      dpe_cli mine -m structure --algo clink -k 4 log.sql
-     dpe_cli attack -m token -p secret log.sql *)
+     dpe_cli attack -m token -p secret log.sql
+     dpe_cli stats -m access-area --trace trace.json log.sql *)
 
 module M = Distance.Measure
 open Cmdliner
@@ -187,7 +188,20 @@ let verify_cmd =
              pairwise distances.")
     Term.(const verify $ measure_arg $ passphrase_arg $ seed_arg $ rows_arg $ log_arg)
 
-let mine m algo k eps seed rows path =
+let trace_arg =
+  let doc = "Write a Chrome trace_event JSON file of the run's spans \
+             (open in chrome://tracing or ui.perfetto.dev); implies \
+             telemetry on." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let write_trace = function
+  | None -> ()
+  | Some file ->
+    Obs.Trace.write_file file;
+    Printf.eprintf "wrote trace %s\n%!" file
+
+let mine m algo k eps seed rows trace path =
+  if trace <> None then Obs.set_enabled true;
   let log = read_log path in
   let ctx =
     if m = M.Result then M.ctx_with_db (db_for_log ~seed ~rows log)
@@ -207,7 +221,8 @@ let mine m algo k eps seed rows path =
     (fun i l ->
       Format.printf "%3d %3d  %s@." i l
         (Sqlir.Printer.to_string (List.nth log i)))
-    labels
+    labels;
+  write_trace trace
 
 let mine_cmd =
   let algo =
@@ -222,7 +237,59 @@ let mine_cmd =
   Cmd.v
     (Cmd.info "mine"
        ~doc:"Run distance-based mining over a (plain or encrypted) log.")
-    Term.(const mine $ measure_arg $ algo $ k $ eps $ seed_arg $ rows_arg $ log_arg)
+    Term.(const mine $ measure_arg $ algo $ k $ eps $ seed_arg $ rows_arg
+          $ trace_arg $ log_arg)
+
+(* stats: run the representative pipeline (encrypt twice -> distance
+   matrix -> cluster) with telemetry on and dump the metric registry.
+   The second encryption pass re-encrypts the same constants, so any log
+   whose scheme uses OPE/DET memoization reports non-zero cache hits. *)
+let stats m pass seed rows json trace path =
+  Obs.set_enabled true;
+  let log = read_log path in
+  let enc = encryptor_of m pass log in
+  let cipher =
+    Obs.Span.with_span ~cat:"cli" "cli.encrypt_log(cold)" (fun () ->
+        Dpe.Encryptor.encrypt_log enc log)
+  in
+  ignore
+    (Obs.Span.with_span ~cat:"cli" "cli.encrypt_log(warm)" (fun () ->
+         Dpe.Encryptor.encrypt_log enc log));
+  let ctx =
+    if m = M.Result then begin
+      let db = db_for_log ~seed ~rows log in
+      M.ctx_with_db
+        (Obs.Span.with_span ~cat:"cli" "cli.encrypt_database" (fun () ->
+             Dpe.Db_encryptor.encrypt_database enc db))
+    end
+    else M.default_ctx
+  in
+  let dm = Dpe.Verdict.distance_matrix ctx m cipher in
+  let k = min 4 (List.length cipher) in
+  if k > 0 then ignore (Mining.Hier.cut_k k dm);
+  write_trace trace;
+  if json then print_endline (Obs.Registry.dump_json ())
+  else Format.printf "%t" Obs.Registry.dump
+
+let stats_cmd =
+  (* access-area by default: its scheme puts ordered constants under OPE,
+     so the memo-cache counters the command exists to surface are live *)
+  let measure =
+    let doc = "Distance measure driving the pipeline (the access-area \
+               and result schemes exercise the OPE cache)." in
+    Arg.(value & opt measure_conv M.Access & info [ "m"; "measure" ] ~docv:"MEASURE" ~doc)
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the metrics snapshot as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Encrypt and mine a log with telemetry enabled, then report \
+             the kitdpe.* metric registry (cache hit rates, distance \
+             evaluations, pool lane activity, latency histograms).")
+    Term.(const stats $ measure $ passphrase_arg $ seed_arg $ rows_arg
+          $ json $ trace_arg $ log_arg)
 
 let attack m pass path =
   let log = read_log path in
@@ -433,6 +500,6 @@ let main =
     (Cmd.info "dpe_cli" ~version:"1.0.0" ~doc)
     [ generate_cmd; profile_cmd; select_cmd; encrypt_cmd; decrypt_cmd;
       verify_cmd; mine_cmd; attack_cmd; cryptdb_cmd; table1_cmd;
-      normalize_cmd; export_db_cmd; rules_cmd; sessions_cmd ]
+      normalize_cmd; export_db_cmd; rules_cmd; sessions_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -31,3 +31,13 @@ val make_cache : ?bound:int -> unit -> cache
     wholesale when full. *)
 
 val encrypt_cached : cache -> key -> string -> string
+
+type cache_stats = { hits : int; misses : int; evictions : int; size : int }
+(** Per-cache memo telemetry: [hits]/[misses] count {!encrypt_cached}
+    lookups, [evictions] counts entries dropped by the bound, [size] is
+    the current entry count. *)
+
+val cache_stats : cache -> cache_stats
+(** Snapshot of this cache's counters.  The same numbers, aggregated over
+    every DET cache in the process, are published to the [Obs] registry
+    as [kitdpe.crypto.det.cache_{hits,misses,evictions}]. *)

@@ -8,9 +8,21 @@ type cache = {
   tbl : (int, int) Hashtbl.t;
   lock : Mutex.t;
   bound : int;
+  (* per-key telemetry, maintained under [lock]; mirrored into the
+     global Obs registry when observability is enabled *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
 }
 
+type cache_stats = { hits : int; misses : int; evictions : int; size : int }
+
 type key = { prf : string; p : params; cache : cache }
+
+let m_hits = Obs.Registry.counter "kitdpe.crypto.ope.cache_hits"
+let m_misses = Obs.Registry.counter "kitdpe.crypto.ope.cache_misses"
+let m_evictions = Obs.Registry.counter "kitdpe.crypto.ope.cache_evictions"
+let m_encrypt_ns = Obs.Registry.histogram "kitdpe.crypto.ope.encrypt_ns"
 
 let default_params = { plain_bits = 32; cipher_bits = 48 }
 
@@ -24,7 +36,10 @@ let create ~master ~purpose p =
     cache =
       { tbl = Hashtbl.create 256;
         lock = Mutex.create ();
-        bound = default_cache_bound } }
+        bound = default_cache_bound;
+        hits = 0;
+        misses = 0;
+        evictions = 0 } }
 
 let params k = (k.p.plain_bits, k.p.cipher_bits)
 let max_plain k = (1 lsl k.p.plain_bits) - 1
@@ -40,17 +55,43 @@ let cache_clear k =
   Hashtbl.reset k.cache.tbl;
   Mutex.unlock k.cache.lock
 
+let cache_stats k =
+  Mutex.lock k.cache.lock;
+  let s =
+    { hits = k.cache.hits;
+      misses = k.cache.misses;
+      evictions = k.cache.evictions;
+      size = Hashtbl.length k.cache.tbl }
+  in
+  Mutex.unlock k.cache.lock;
+  s
+
 let cache_find k m =
   Mutex.lock k.cache.lock;
   let r = Hashtbl.find_opt k.cache.tbl m in
+  (match r with
+   | Some _ -> k.cache.hits <- k.cache.hits + 1
+   | None -> k.cache.misses <- k.cache.misses + 1);
   Mutex.unlock k.cache.lock;
+  (match r with
+   | Some _ -> Obs.Metric.incr m_hits
+   | None -> Obs.Metric.incr m_misses);
   r
 
 let cache_add k m c =
   Mutex.lock k.cache.lock;
-  if Hashtbl.length k.cache.tbl >= k.cache.bound then Hashtbl.reset k.cache.tbl;
+  let evicted =
+    if Hashtbl.length k.cache.tbl >= k.cache.bound then begin
+      let n = Hashtbl.length k.cache.tbl in
+      Hashtbl.reset k.cache.tbl;
+      k.cache.evictions <- k.cache.evictions + n;
+      n
+    end
+    else 0
+  in
   Hashtbl.replace k.cache.tbl m c;
-  Mutex.unlock k.cache.lock
+  Mutex.unlock k.cache.lock;
+  if evicted > 0 then Obs.Metric.add m_evictions evicted
 
 let encode_int v =
   String.init 8 (fun i -> Char.chr ((v lsr (8 * (7 - i))) land 0xff))
@@ -103,7 +144,9 @@ let encrypt k m =
   match cache_find k m with
   | Some c -> c
   | None ->
+    let t0 = Obs.time_start () in
     let c = encrypt_uncached k m in
+    Obs.Metric.observe_since m_encrypt_ns t0;
     cache_add k m c;
     c
 

@@ -46,4 +46,16 @@ val cache_size : key -> int
 (** Number of memoized plaintexts (diagnostics for the perf bench). *)
 
 val cache_clear : key -> unit
-(** Drop the memo (never changes ciphertexts — determinism). *)
+(** Drop the memo (never changes ciphertexts — determinism).  Does not
+    count as an eviction in {!cache_stats} — it is an explicit diagnostic
+    reset, not capacity pressure. *)
+
+type cache_stats = { hits : int; misses : int; evictions : int; size : int }
+(** Per-key memo telemetry: [hits]/[misses] count {!encrypt} lookups,
+    [evictions] counts entries dropped by the bound (the memo drops
+    wholesale when full), [size] is the current entry count. *)
+
+val cache_stats : key -> cache_stats
+(** Snapshot of this key's memo counters.  The same numbers, aggregated
+    over every OPE key in the process, are published to the [Obs]
+    registry as [kitdpe.crypto.ope.cache_{hits,misses,evictions}]. *)

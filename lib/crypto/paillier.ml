@@ -1,5 +1,11 @@
 module N = Bignum.Bignat
 
+(* every Paillier-level modular exponentiation (the dominant cost of the
+   HOM class) passes through [pow]; keygen's primality-test modexps live
+   inside Bignum and are not counted here *)
+let m_modexp = Obs.Registry.counter "kitdpe.crypto.paillier.modexp"
+let m_encrypts = Obs.Registry.counter "kitdpe.crypto.paillier.encrypts"
+
 type public = { n : N.t; n2 : N.t; mont : N.mont }
 (* n2 = n^2 is odd (n is a product of odd primes), so the Montgomery
    context always exists and makes every exponentiation ~3x faster *)
@@ -43,12 +49,17 @@ let random_unit pub rng =
   in
   go ()
 
+let pow pub b e =
+  Obs.Metric.incr m_modexp;
+  N.mont_pow pub.mont b e
+
 let encrypt pub rng m =
   if N.compare m pub.n >= 0 then invalid_arg "Paillier.encrypt: m >= n";
+  Obs.Metric.incr m_encrypts;
   let r = random_unit pub rng in
   (* g^m = 1 + m*n (mod n^2) for g = n + 1 *)
   let gm = N.rem (N.add N.one (N.mul m pub.n)) pub.n2 in
-  let rn = N.mont_pow pub.mont r pub.n in
+  let rn = pow pub r pub.n in
   N.mod_mul gm rn pub.n2
 
 let encode_int pub v =
@@ -61,7 +72,7 @@ let l_function pub u = N.div (N.sub u N.one) pub.n
 let decrypt sk c =
   let pub = sk.pub in
   if N.compare c pub.n2 >= 0 then invalid_arg "Paillier.decrypt: c >= n^2";
-  let u = N.mont_pow pub.mont c sk.lambda in
+  let u = pow pub c sk.lambda in
   N.mod_mul (l_function pub u) sk.mu pub.n
 
 let decrypt_int sk c =
@@ -75,7 +86,7 @@ let add pub c1 c2 = N.mod_mul c1 c2 pub.n2
 
 let scalar_mul pub c k =
   if k < 0 then invalid_arg "Paillier.scalar_mul: negative scalar";
-  N.mont_pow pub.mont c (N.of_int k)
+  pow pub c (N.of_int k)
 
 let serialize = N.to_bytes_be
 let deserialize = N.of_bytes_be

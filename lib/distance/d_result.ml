@@ -1,4 +1,8 @@
+let m_query_execs = Obs.Registry.counter "kitdpe.distance.result.query_execs"
+let m_jaccard = Obs.Registry.counter "kitdpe.distance.result.jaccard_evals"
+
 let result_set db q =
+  Obs.Metric.incr m_query_execs;
   Minidb.Executor.result_tuple_set (Minidb.Executor.run db q)
 
 let distance db q1 q2 =
@@ -14,5 +18,6 @@ let matrix ?pool db queries =
     Parallel.Pool.map_array pool (result_set db) (Array.of_list queries)
   in
   Parallel.Sym_matrix.build ~pool (Array.length sets) (fun i j ->
+      Obs.Metric.incr m_jaccard;
       Jaccard.distance ~compare:(List.compare Minidb.Value.compare)
         sets.(i) sets.(j))

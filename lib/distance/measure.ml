@@ -36,7 +36,11 @@ let needs_domains = function
   | Access -> true
   | Token | Structure | Result | Edit | Clause -> false
 
+let m_evals = Obs.Registry.counter "kitdpe.distance.measure.evals"
+let m_matrix_ns = Obs.Registry.histogram "kitdpe.distance.measure.matrix_ns"
+
 let compute ctx measure q1 q2 =
+  Obs.Metric.incr m_evals;
   match measure with
   | Token -> D_token.distance_q q1 q2
   | Edit -> D_edit.distance_q q1 q2
@@ -49,11 +53,24 @@ let compute ctx measure q1 q2 =
      | None -> invalid_arg "Measure.compute: result distance needs a database")
 
 let matrix ?pool ctx measure queries =
-  match measure, ctx.db with
-  | Result, Some db -> D_result.matrix ?pool db queries
-  | Result, None ->
-    invalid_arg "Measure.matrix: result distance needs a database"
-  | (Token | Structure | Access | Edit | Clause), _ ->
-    let qs = Array.of_list queries in
-    Parallel.Sym_matrix.build ?pool (Array.length qs) (fun i j ->
-        compute ctx measure qs.(i) qs.(j))
+  let t0 = Obs.time_start () in
+  let m =
+    match measure, ctx.db with
+    | Result, Some db -> D_result.matrix ?pool db queries
+    | Result, None ->
+      invalid_arg "Measure.matrix: result distance needs a database"
+    | (Token | Structure | Access | Edit | Clause), _ ->
+      let qs = Array.of_list queries in
+      Parallel.Sym_matrix.build ?pool (Array.length qs) (fun i j ->
+          compute ctx measure qs.(i) qs.(j))
+  in
+  if t0 > 0 then begin
+    let dt = Obs.now_ns () - t0 in
+    Obs.Metric.observe m_matrix_ns dt;
+    Obs.Span.record ~cat:"distance"
+      ~name:
+        (Printf.sprintf "measure.matrix/%s(n=%d)" (to_string measure)
+           (List.length queries))
+      ~ts_ns:t0 ~dur_ns:dt ()
+  end;
+  m

@@ -3,13 +3,25 @@ module Schema = Minidb.Schema
 module Table = Minidb.Table
 module Database = Minidb.Database
 
+let m_rows = Obs.Registry.counter "kitdpe.dpe.db_encryptor.rows"
+let m_cells = Obs.Registry.counter "kitdpe.dpe.db_encryptor.cells"
+let m_table_ns = Obs.Registry.histogram "kitdpe.dpe.db_encryptor.table_ns"
+
+let const_class_of enc name =
+  match (Encryptor.scheme enc).Scheme.consts with
+  | Scheme.Global cls -> cls
+  | Scheme.Per_attribute _ -> Scheme.class_for_attr (Encryptor.scheme enc) name
+
+let class_label = function
+  | Scheme.C_ope -> "ope"
+  | Scheme.C_ope_join _ -> "ope_join"
+  | Scheme.C_det -> "det"
+  | Scheme.C_det_join _ -> "det_join"
+  | Scheme.C_prob -> "prob"
+  | Scheme.C_hom -> "hom"
+
 let column_cipher_type enc name (ty : Value.ty) : Value.ty =
-  let cls =
-    match (Encryptor.scheme enc).Scheme.consts with
-    | Scheme.Global cls -> cls
-    | Scheme.Per_attribute _ -> Scheme.class_for_attr (Encryptor.scheme enc) name
-  in
-  match cls with
+  match const_class_of enc name with
   | Scheme.C_ope | Scheme.C_ope_join _ -> Value.Tint
   | Scheme.C_det | Scheme.C_det_join _ | Scheme.C_prob | Scheme.C_hom ->
     ignore ty;
@@ -41,11 +53,33 @@ let encrypt_table ?pool enc table =
   in
   let rel = plain_schema.Schema.rel in
   let rows = Array.of_list (Table.rows table) in
+  let t0 = Obs.time_start () in
   let encrypt_row i row =
     let rng = Encryptor.row_rng enc ~rel i in
     Array.mapi (fun c v -> encoders.(c) ~rng v) row
   in
   let cipher_rows = Parallel.Pool.mapi_array pool encrypt_row rows in
+  if t0 > 0 then begin
+    (* bulk accounting after the parallel map: rows and cells overall,
+       plus cells broken down by the constant class that encrypted them
+       ("which scheme did the work?") *)
+    let nrows = Array.length rows in
+    Obs.Metric.add m_rows nrows;
+    Obs.Metric.add m_cells (nrows * List.length names);
+    List.iter
+      (fun name ->
+        Obs.Metric.add
+          (Obs.Registry.counter
+             ("kitdpe.dpe.db_encryptor.cells."
+             ^ class_label (const_class_of enc name)))
+          nrows)
+      names;
+    let dt = Obs.now_ns () - t0 in
+    Obs.Metric.observe m_table_ns dt;
+    Obs.Span.record ~cat:"dpe"
+      ~name:(Printf.sprintf "encrypt_table/%s(rows=%d)" rel (Array.length rows))
+      ~ts_ns:t0 ~dur_ns:dt ()
+  end;
   Table.of_rows cipher_schema (Array.to_list cipher_rows)
 
 let encrypt_database ?pool enc db =

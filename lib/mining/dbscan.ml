@@ -1,6 +1,11 @@
 type params = { eps : float; min_pts : int }
 
+let m_runs = Obs.Registry.counter "kitdpe.mining.dbscan.runs"
+let m_scans = Obs.Registry.counter "kitdpe.mining.dbscan.neighbor_scans"
+let m_clusters = Obs.Registry.counter "kitdpe.mining.dbscan.clusters_found"
+
 let neighbors m eps i =
+  Obs.Metric.incr m_scans;
   let n = Dist_matrix.size m in
   let acc = ref [] in
   for j = n - 1 downto 0 do
@@ -8,7 +13,7 @@ let neighbors m eps i =
   done;
   !acc
 
-let run { eps; min_pts } m =
+let run_core { eps; min_pts } m =
   let n = Dist_matrix.size m in
   let labels = Array.make n (-2) in
   (* -2 unvisited, -1 noise, >= 0 cluster id *)
@@ -36,4 +41,16 @@ let run { eps; min_pts } m =
       end
     end
   done;
+  labels
+
+let run p m =
+  let t0 = Obs.time_start () in
+  let labels = run_core p m in
+  if t0 > 0 then begin
+    Obs.Metric.incr m_runs;
+    Obs.Metric.add m_clusters (Array.fold_left max (-1) labels + 1);
+    Obs.Span.record ~cat:"mining"
+      ~name:(Printf.sprintf "dbscan(n=%d)" (Dist_matrix.size m))
+      ~ts_ns:t0 ~dur_ns:(Obs.now_ns () - t0) ()
+  end;
   labels

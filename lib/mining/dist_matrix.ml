@@ -1,7 +1,34 @@
 type t = float array array
 
-let of_fun_seq n d = Parallel.Sym_matrix.build_seq n d
-let of_fun ?pool n d = Parallel.Sym_matrix.build ?pool n d
+let m_evals = Obs.Registry.counter "kitdpe.mining.dist_matrix.evals"
+let m_build_ns = Obs.Registry.histogram "kitdpe.mining.dist_matrix.build_ns"
+
+(* Where did the wall-clock go?  [of_fun] counts every distance
+   evaluation (the n(n-1)/2 upper-triangle calls) and records one span
+   per matrix build.  The counting closure is allocated once per matrix
+   and only when observability is on; the disabled path is the bare
+   builder. *)
+let of_fun_instrumented build n d =
+  if not (Obs.is_enabled ()) then build n d
+  else begin
+    let t0 = Obs.now_ns () in
+    let d i j =
+      Obs.Metric.incr m_evals;
+      d i j
+    in
+    let m = build n d in
+    let dt = Obs.now_ns () - t0 in
+    Obs.Metric.observe m_build_ns dt;
+    Obs.Span.record ~cat:"mining"
+      ~name:(Printf.sprintf "dist_matrix(n=%d)" n)
+      ~ts_ns:t0 ~dur_ns:dt ();
+    m
+  end
+
+let of_fun_seq n d = of_fun_instrumented Parallel.Sym_matrix.build_seq n d
+
+let of_fun ?pool n d =
+  of_fun_instrumented (Parallel.Sym_matrix.build ?pool) n d
 
 let size (m : t) = Array.length m
 let get (m : t) i j = m.(i).(j)

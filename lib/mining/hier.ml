@@ -11,7 +11,11 @@ type merge = {
 
 type cluster = { id : int; members : int list }
 
+let m_merges = Obs.Registry.counter "kitdpe.mining.hier.merges"
+let m_cluster_dists = Obs.Registry.counter "kitdpe.mining.hier.cluster_dists"
+
 let cluster_distance linkage m ca cb =
+  Obs.Metric.incr m_cluster_dists;
   let ds =
     List.concat_map
       (fun i -> List.map (fun j -> Dist_matrix.get m i j) cb.members)
@@ -25,6 +29,7 @@ let cluster_distance linkage m ca cb =
 
 let merges ?(linkage = Complete) m ~stop =
   let n = Dist_matrix.size m in
+  let t0 = Obs.time_start () in
   let clusters = ref (List.init n (fun i -> { id = i; members = [ i ] })) in
   let next_id = ref n in
   let out = ref [] in
@@ -56,11 +61,16 @@ let merges ?(linkage = Complete) m ~stop =
       else begin
         let merged = { id = !next_id; members = a.members @ b.members } in
         incr next_id;
+        Obs.Metric.incr m_merges;
         clusters :=
           merged :: List.filter (fun c -> c.id <> a.id && c.id <> b.id) !clusters;
         out := { left = a.id; right = b.id; height = d } :: !out
       end
   done;
+  if t0 > 0 then
+    Obs.Span.record ~cat:"mining"
+      ~name:(Printf.sprintf "hier.merges(n=%d)" n)
+      ~ts_ns:t0 ~dur_ns:(Obs.now_ns () - t0) ();
   (List.rev !out, !clusters)
 
 let dendrogram ?linkage m =

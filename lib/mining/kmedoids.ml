@@ -1,5 +1,8 @@
 type params = { k : int; max_iter : int }
 
+let m_runs = Obs.Registry.counter "kitdpe.mining.kmedoids.runs"
+let m_iterations = Obs.Registry.counter "kitdpe.mining.kmedoids.iterations"
+
 (* Park–Jun initialization: pick the k objects with the smallest total
    normalized distance to everything else (most central objects). *)
 let initial_medoids k m =
@@ -61,12 +64,15 @@ let update_medoids m labels k =
 let run_full { k; max_iter } m =
   let n = Dist_matrix.size m in
   if k <= 0 || k > n then invalid_arg "Kmedoids: k out of range";
+  let t0 = Obs.time_start () in
+  Obs.Metric.incr m_runs;
   let medoids = ref (initial_medoids k m) in
   let labels = ref (assign m !medoids) in
   let continue = ref true in
   let iter = ref 0 in
   while !continue && !iter < max_iter do
     incr iter;
+    Obs.Metric.incr m_iterations;
     let medoids' = update_medoids m !labels k in
     (* a cluster can become empty only on degenerate inputs: keep the old
        medoid in that case *)
@@ -77,6 +83,10 @@ let run_full { k; max_iter } m =
       labels := assign m !medoids
     end
   done;
+  if t0 > 0 then
+    Obs.Span.record ~cat:"mining"
+      ~name:(Printf.sprintf "kmedoids(n=%d,k=%d)" n k)
+      ~ts_ns:t0 ~dur_ns:(Obs.now_ns () - t0) ();
   (!medoids, !labels)
 
 let run p m = snd (run_full p m)

@@ -1,0 +1,10 @@
+module Metric = Metric
+module Registry = Registry
+module Span = Span
+module Trace = Trace
+
+let enabled = Control.enabled
+let set_enabled v = Atomic.set Control.enabled v
+let is_enabled () = Atomic.get Control.enabled
+let now_ns = Control.now_ns
+let time_start () = if is_enabled () then Control.now_ns () else 0

@@ -1,0 +1,170 @@
+(** Observability for the KIT-DPE tree: counters, gauges and
+    log2-bucketed latency histograms backed by per-domain sharded cells
+    (merge-on-read, lock-free writes), plus lightweight spans with a
+    ring-buffer sink and a Chrome [trace_event] exporter.
+
+    The whole subsystem sits behind one atomic guard, {!enabled}: with it
+    off (the default), every instrumentation point in the tree performs a
+    single atomic load and allocates nothing, so the tier-1 performance
+    paths are untouched.  Set the [KITDPE_OBS] environment variable to
+    [1]/[true]/[yes]/[on] to enable it at startup, or call
+    {!set_enabled} at runtime ([dpe_cli stats] and the bench trajectory
+    do).
+
+    Naming convention for registered metrics:
+    [kitdpe.<layer>.<name>] — e.g. [kitdpe.crypto.ope.cache_hits].
+    Everything outside [kitdpe.parallel.*] counts workload semantics and
+    is invariant under [KITDPE_DOMAINS]; the [kitdpe.parallel.*] family
+    (per-lane task counts, busy nanoseconds) describes the execution
+    substrate and varies with the pool size by design. *)
+
+val enabled : bool Atomic.t
+(** The single global guard.  Prefer {!set_enabled} / {!is_enabled}. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val now_ns : unit -> int
+(** Wall-clock nanoseconds (microsecond granularity) as a native int. *)
+
+val time_start : unit -> int
+(** [now_ns ()] when enabled, [0] when disabled — the [0] sentinel makes
+    [Metric.observe_since] a no-op, so a timed section costs nothing when
+    telemetry is off:
+    {[ let t0 = Obs.time_start () in
+       ... work ...
+       Obs.Metric.observe_since hist t0 ]} *)
+
+module Metric : sig
+  (** Sharded metric cells.  Writers hash [Domain.self ()] to a shard and
+      update it with one [Atomic.fetch_and_add]; readers merge all shards.
+      No locks; all update functions are gated on {!enabled}. *)
+
+  type counter
+  type gauge
+  type histogram
+
+  val counter : unit -> counter
+  (** An unregistered counter (tests); production code uses
+      {!Registry.counter}. *)
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+
+  val value : counter -> int
+  (** Merge-on-read sum over all shards. *)
+
+  val reset_counter : counter -> unit
+
+  val gauge : unit -> gauge
+  (** Gauge writes are {e not} gated on {!enabled}: they record cold-path
+      configuration (one atomic store, no allocation) and must survive a
+      later [set_enabled true]. *)
+
+  val set_gauge : gauge -> int -> unit
+  val gauge_value : gauge -> int
+  val reset_gauge : gauge -> unit
+
+  val histogram : unit -> histogram
+
+  val observe : histogram -> int -> unit
+  (** Record one observation (intended unit: nanoseconds).  Bucket [b]
+      counts values [v] with [2^(b-1) < v <= 2^b]; bucket [0] collects
+      [v <= 1]. *)
+
+  val observe_since : histogram -> int -> unit
+  (** [observe_since h t0] records [now_ns () - t0]; no-op if [t0 = 0]
+      (the {!time_start} disabled sentinel). *)
+
+  val bucket_of : int -> int
+  (** The log2 bucket index an observation lands in (exposed for tests
+      and renderers). *)
+
+  val bucket_count : int
+
+  val hist_count : histogram -> int
+  val hist_sum : histogram -> int
+
+  val hist_buckets : histogram -> int array
+  (** Merged per-bucket counts, length {!bucket_count}. *)
+
+  val reset_histogram : histogram -> unit
+end
+
+module Registry : sig
+  (** Process-wide [name -> metric] table.  Creation is get-or-create
+      under a mutex (cold path); lookups by the instrumented modules
+      happen once at module initialization. *)
+
+  val counter : string -> Metric.counter
+  val gauge : string -> Metric.gauge
+  val histogram : string -> Metric.histogram
+  (** Get or create.  @raise Invalid_argument if [name] is already
+      registered with a different kind. *)
+
+  type value =
+    | Vcounter of int
+    | Vgauge of int
+    | Vhistogram of { count : int; sum : int; buckets : (int * int) list }
+        (** [buckets] lists only non-empty buckets as
+            [(log2_index, count)]. *)
+
+  type sample = { name : string; value : value }
+
+  val snapshot : unit -> sample list
+  (** Merge-on-read snapshot of every registered metric, sorted by
+      name. *)
+
+  val find : string -> value option
+
+  val reset : unit -> unit
+  (** Zero every registered metric (keeps registrations). *)
+
+  val dump : Format.formatter -> unit
+  (** Human-readable one-line-per-metric text dump. *)
+
+  val dump_json : unit -> string
+  (** The snapshot as one JSON object:
+      [{"<name>": {"type": "counter", "value": n}, ...}]; histograms carry
+      [count], [sum_ns] and a [[log2_bucket, count]] list. *)
+end
+
+module Span : sig
+  (** Coarse-grained timed sections collected into a bounded ring buffer
+      (completion order; oldest events are overwritten and counted as
+      dropped). *)
+
+  type event = {
+    name : string;
+    cat : string;
+    ts_ns : int;
+    dur_ns : int;
+    tid : int;  (** domain id *)
+  }
+
+  val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+  (** Run the thunk and record one event; when disabled this is a direct
+      call to the thunk.  The event is recorded even if the thunk
+      raises. *)
+
+  val record : ?cat:string -> name:string -> ts_ns:int -> dur_ns:int -> unit -> unit
+  (** Record a pre-timed event (for call sites that avoid closures on the
+      hot path). *)
+
+  val events : unit -> event list
+  val dropped : unit -> int
+  val clear : unit -> unit
+
+  val set_capacity : int -> unit
+  (** Resize the ring (drops buffered events); default capacity 8192. *)
+end
+
+module Trace : sig
+  (** Chrome [trace_event] exporter: loads in [chrome://tracing] and
+      Perfetto.  Spans become "X" (complete) events, one track per
+      domain; the registry snapshot rides along under
+      [otherData.metrics]. *)
+
+  val to_string : unit -> string
+  val write_file : string -> unit
+end

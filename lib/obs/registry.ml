@@ -1,0 +1,153 @@
+(* Process-wide name -> metric table.  Creation takes a mutex (rare);
+   updates go straight to the sharded cells; [snapshot] merges on read.
+
+   Naming convention: [kitdpe.<layer>.<name>], e.g.
+   [kitdpe.crypto.ope.cache_hits].  Metrics outside the
+   [kitdpe.parallel.*] namespace describe the workload and are invariant
+   under KITDPE_DOMAINS; [kitdpe.parallel.*] describes the execution
+   substrate (per-lane task counts, busy time) and legitimately varies
+   with the pool size. *)
+
+type metric =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Metric.histogram
+
+let lock = Mutex.create ()
+let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let get_or_create name project inject =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some m ->
+        (match project m with
+         | Some v -> v
+         | None ->
+           invalid_arg
+             ("Obs.Registry: " ^ name ^ " already registered with another kind"))
+      | None ->
+        let v = inject () in
+        Hashtbl.replace table name
+          (match v with
+           | `C c -> Counter c
+           | `G g -> Gauge g
+           | `H h -> Histogram h);
+        v)
+
+let counter name =
+  match
+    get_or_create name
+      (function Counter c -> Some (`C c) | _ -> None)
+      (fun () -> `C (Metric.counter ()))
+  with
+  | `C c -> c
+  | _ -> assert false
+
+let gauge name =
+  match
+    get_or_create name
+      (function Gauge g -> Some (`G g) | _ -> None)
+      (fun () -> `G (Metric.gauge ()))
+  with
+  | `G g -> g
+  | _ -> assert false
+
+let histogram name =
+  match
+    get_or_create name
+      (function Histogram h -> Some (`H h) | _ -> None)
+      (fun () -> `H (Metric.histogram ()))
+  with
+  | `H h -> h
+  | _ -> assert false
+
+(* ---- merge-on-read snapshots ---- *)
+
+type value =
+  | Vcounter of int
+  | Vgauge of int
+  | Vhistogram of { count : int; sum : int; buckets : (int * int) list }
+
+type sample = { name : string; value : value }
+
+let read_metric = function
+  | Counter c -> Vcounter (Metric.value c)
+  | Gauge g -> Vgauge (Metric.gauge_value g)
+  | Histogram h ->
+    let buckets =
+      Array.to_list (Metric.hist_buckets h)
+      |> List.mapi (fun i n -> (i, n))
+      |> List.filter (fun (_, n) -> n > 0)
+    in
+    Vhistogram { count = Metric.hist_count h; sum = Metric.hist_sum h; buckets }
+
+let snapshot () =
+  let items =
+    locked (fun () -> Hashtbl.fold (fun name m acc -> (name, m) :: acc) table [])
+  in
+  items
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (name, m) -> { name; value = read_metric m })
+
+let find name =
+  let m = locked (fun () -> Hashtbl.find_opt table name) in
+  Option.map read_metric m
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Metric.reset_counter c
+          | Gauge g -> Metric.reset_gauge g
+          | Histogram h -> Metric.reset_histogram h)
+        table)
+
+(* ---- rendering ---- *)
+
+let pp_value ppf = function
+  | Vcounter v | Vgauge v -> Format.fprintf ppf "%d" v
+  | Vhistogram { count; sum; buckets } ->
+    let mean = if count = 0 then 0.0 else float_of_int sum /. float_of_int count in
+    Format.fprintf ppf "count=%d sum_ns=%d mean_ns=%.0f buckets=[%s]" count sum
+      mean
+      (String.concat "; "
+         (List.map (fun (b, n) -> Printf.sprintf "<=2^%d:%d" b n) buckets))
+
+let dump ppf =
+  List.iter
+    (fun s -> Format.fprintf ppf "%-52s %a@." s.name pp_value s.value)
+    (snapshot ())
+
+let add_json_value b = function
+  | Vcounter v ->
+    Buffer.add_string b (Printf.sprintf "{\"type\":\"counter\",\"value\":%d}" v)
+  | Vgauge v ->
+    Buffer.add_string b (Printf.sprintf "{\"type\":\"gauge\",\"value\":%d}" v)
+  | Vhistogram { count; sum; buckets } ->
+    Buffer.add_string b
+      (Printf.sprintf "{\"type\":\"histogram\",\"count\":%d,\"sum_ns\":%d,\"buckets\":["
+         count sum);
+    List.iteri
+      (fun i (bkt, n) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "[%d,%d]" bkt n))
+      buckets;
+    Buffer.add_string b "]}"
+
+let dump_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Control.add_json_string b s.name;
+      Buffer.add_char b ':';
+      add_json_value b s.value)
+    (snapshot ());
+  Buffer.add_char b '}';
+  Buffer.contents b

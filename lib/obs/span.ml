@@ -1,0 +1,88 @@
+(* Lightweight spans collected into a bounded ring buffer.
+
+   Spans are coarse-grained (a matrix build, a table encryption, a pool
+   batch — not per-cell work), so a mutex-protected ring is plenty: the
+   lock is taken once per completed span, never inside element loops.
+   When the subsystem is disabled, [with_span] is a direct tail call to
+   the thunk and [record] is a no-op — nothing is allocated. *)
+
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int; (* span start, wall-clock ns *)
+  dur_ns : int;
+  tid : int; (* domain id *)
+}
+
+let default_capacity = 8192
+
+type ring = {
+  lock : Mutex.t;
+  mutable buf : event array;
+  mutable len : int; (* live events, <= capacity *)
+  mutable next : int; (* next write slot *)
+  mutable dropped : int; (* events overwritten after wrap-around *)
+}
+
+let dummy = { name = ""; cat = ""; ts_ns = 0; dur_ns = 0; tid = 0 }
+
+let ring =
+  { lock = Mutex.create ();
+    buf = Array.make default_capacity dummy;
+    len = 0;
+    next = 0;
+    dropped = 0 }
+
+let set_capacity n =
+  Mutex.lock ring.lock;
+  ring.buf <- Array.make (max 1 n) dummy;
+  ring.len <- 0;
+  ring.next <- 0;
+  ring.dropped <- 0;
+  Mutex.unlock ring.lock
+
+let record ?(cat = "kitdpe") ~name ~ts_ns ~dur_ns () =
+  if Control.is_on () then begin
+    let e = { name; cat; ts_ns; dur_ns; tid = (Domain.self () :> int) } in
+    Mutex.lock ring.lock;
+    let capacity = Array.length ring.buf in
+    if ring.len = capacity then ring.dropped <- ring.dropped + 1
+    else ring.len <- ring.len + 1;
+    ring.buf.(ring.next) <- e;
+    ring.next <- (ring.next + 1) mod capacity;
+    Mutex.unlock ring.lock
+  end
+
+let with_span ?cat name f =
+  if not (Control.is_on ()) then f ()
+  else begin
+    let t0 = Control.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        record ?cat ~name ~ts_ns:t0 ~dur_ns:(Control.now_ns () - t0) ())
+      f
+  end
+
+(* oldest-first; ring order is completion order *)
+let events () =
+  Mutex.lock ring.lock;
+  let capacity = Array.length ring.buf in
+  let start = if ring.len < capacity then 0 else ring.next in
+  let out =
+    List.init ring.len (fun i -> ring.buf.((start + i) mod capacity))
+  in
+  Mutex.unlock ring.lock;
+  out
+
+let dropped () =
+  Mutex.lock ring.lock;
+  let d = ring.dropped in
+  Mutex.unlock ring.lock;
+  d
+
+let clear () =
+  Mutex.lock ring.lock;
+  ring.len <- 0;
+  ring.next <- 0;
+  ring.dropped <- 0;
+  Mutex.unlock ring.lock

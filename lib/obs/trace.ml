@@ -1,0 +1,56 @@
+(* Chrome trace_event exporter (JSON object format).
+
+   Emits the span ring as "X" (complete) events with microsecond
+   timestamps, one track per domain id, plus process/thread metadata
+   events, so the file loads directly in chrome://tracing and Perfetto
+   (ui.perfetto.dev -> Open trace file). *)
+
+let add_event b (e : Span.event) =
+  Buffer.add_string b "{\"name\":";
+  Control.add_json_string b e.Span.name;
+  Buffer.add_string b ",\"cat\":";
+  Control.add_json_string b e.Span.cat;
+  Buffer.add_string b
+    (Printf.sprintf ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}"
+       (float_of_int e.Span.ts_ns /. 1e3)
+       (float_of_int e.Span.dur_ns /. 1e3)
+       e.Span.tid)
+
+let add_metadata b ~name ~tid ~value =
+  Buffer.add_string b "{\"name\":";
+  Control.add_json_string b name;
+  Buffer.add_string b (Printf.sprintf ",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":" tid);
+  Control.add_json_string b value;
+  Buffer.add_string b "}}"
+
+let to_string () =
+  let events = Span.events () in
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.Span.tid) events)
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  add_metadata b ~name:"process_name" ~tid:0 ~value:"kitdpe";
+  List.iter
+    (fun tid ->
+      Buffer.add_char b ',';
+      add_metadata b ~name:"thread_name" ~tid
+        ~value:(Printf.sprintf "domain %d" tid))
+    tids;
+  List.iter
+    (fun e ->
+      Buffer.add_char b ',';
+      add_event b e)
+    events;
+  Buffer.add_string b "],\"otherData\":{\"dropped_spans\":";
+  Buffer.add_string b (string_of_int (Span.dropped ()));
+  Buffer.add_string b ",\"metrics\":";
+  Buffer.add_string b (Registry.dump_json ());
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ()))

@@ -7,6 +7,41 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
+(* ---- observability ----
+
+   Per-lane task counts and busy nanoseconds answer "which pool lane sat
+   idle?".  The lane index lives in domain-local storage: worker [i] sets
+   it once at spawn, the caller (and any domain outside the pool) is lane
+   0.  These [kitdpe.parallel.*] metrics describe the execution substrate
+   and naturally vary with KITDPE_DOMAINS; workload-semantic metrics
+   elsewhere in the tree do not. *)
+
+let lane_key = Domain.DLS.new_key (fun () -> 0)
+
+let m_batches = Obs.Registry.counter "kitdpe.parallel.pool.batches"
+let m_tasks = Obs.Registry.counter "kitdpe.parallel.pool.tasks"
+let m_task_ns = Obs.Registry.histogram "kitdpe.parallel.pool.task_ns"
+
+let lane_counter name lane =
+  Obs.Registry.counter
+    (Printf.sprintf "kitdpe.parallel.pool.lane%d.%s" lane name)
+
+(* tasks are stripe-coarse (a handful per lane per batch), so the
+   registry lookup on the enabled path is noise; the disabled path is a
+   single atomic load and a direct call *)
+let run_job job =
+  if not (Obs.is_enabled ()) then job ()
+  else begin
+    let lane = Domain.DLS.get lane_key in
+    let t0 = Obs.now_ns () in
+    job ();
+    let dt = Obs.now_ns () - t0 in
+    Obs.Metric.incr m_tasks;
+    Obs.Metric.observe m_task_ns dt;
+    Obs.Metric.incr (lane_counter "tasks" lane);
+    Obs.Metric.add (lane_counter "busy_ns" lane) dt
+  end
+
 let default_domains () =
   let fallback = max 1 (Domain.recommended_domain_count () - 1) in
   match Sys.getenv_opt "KITDPE_DOMAINS" with
@@ -40,7 +75,7 @@ let rec worker_loop t =
   match next () with
   | None -> ()
   | Some job ->
-    job ();
+    run_job job;
     worker_loop t
 
 let create ?domains () =
@@ -54,7 +89,11 @@ let create ?domains () =
       workers = [] }
   in
   if lanes > 1 then
-    t.workers <- List.init (lanes - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t.workers <-
+      List.init (lanes - 1) (fun i ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set lane_key (i + 1);
+              worker_loop t));
   t
 
 let shutdown t =
@@ -75,6 +114,7 @@ let global () =
     | Some p -> p
     | None ->
       let p = create () in
+      Obs.Metric.set_gauge (Obs.Registry.gauge "kitdpe.parallel.pool.size") p.lanes;
       global_pool := Some p;
       at_exit (fun () -> shutdown p);
       p
@@ -82,14 +122,15 @@ let global () =
   Mutex.unlock global_mutex;
   p
 
-let run_seq tasks = List.iter (fun f -> f ()) tasks
+let run_seq tasks = List.iter run_job tasks
 
 let run_tasks t tasks =
   match tasks with
   | [] -> ()
-  | [ f ] -> f ()
+  | [ f ] -> run_job f
   | _ when t.lanes <= 1 || t.closed -> run_seq tasks
   | _ ->
+    let batch_t0 = Obs.time_start () in
     let remaining = ref (List.length tasks) in
     let first_exn = ref None in
     let batch_done = Condition.create () in
@@ -114,7 +155,7 @@ let run_tasks t tasks =
       match Queue.take_opt t.pending with
       | Some job ->
         Mutex.unlock t.mutex;
-        job ();
+        run_job job;
         Mutex.lock t.mutex;
         if !remaining > 0 then help ()
       | None -> if !remaining > 0 then begin
@@ -124,6 +165,11 @@ let run_tasks t tasks =
     in
     help ();
     Mutex.unlock t.mutex;
+    if batch_t0 > 0 then begin
+      Obs.Metric.incr m_batches;
+      Obs.Span.record ~cat:"parallel" ~name:"pool.batch" ~ts_ns:batch_t0
+        ~dur_ns:(Obs.now_ns () - batch_t0) ()
+    end;
     (match !first_exn with Some e -> raise e | None -> ())
 
 (* below this many indices the bookkeeping costs more than it saves *)

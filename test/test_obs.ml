@@ -1,0 +1,372 @@
+(* Tests for the observability subsystem (PR 2): metric correctness,
+   per-domain shard merging under a real pool, disabled-mode no-ops,
+   KITDPE_DOMAINS-invariance of workload-semantic metrics, OPE cache
+   counters end-to-end, and well-formedness of the trace exporter. *)
+
+(* run [f] with telemetry on and a clean slate, restoring the previous
+   enabled state afterwards (tests share one process) *)
+let with_obs f =
+  let was = Obs.is_enabled () in
+  Obs.set_enabled true;
+  Obs.Registry.reset ();
+  Obs.Span.clear ();
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) f
+
+let with_obs_off f =
+  let was = Obs.is_enabled () in
+  Obs.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) f
+
+let with_pool ?domains f =
+  let p = Parallel.Pool.create ?domains () in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown p) (fun () -> f p)
+
+(* ---- counters and gauges ---- *)
+
+let test_counter () =
+  with_obs (fun () ->
+      let c = Obs.Metric.counter () in
+      Alcotest.(check int) "fresh" 0 (Obs.Metric.value c);
+      Obs.Metric.incr c;
+      Obs.Metric.incr c;
+      Obs.Metric.add c 40;
+      Alcotest.(check int) "2 incr + add 40" 42 (Obs.Metric.value c);
+      Obs.Metric.reset_counter c;
+      Alcotest.(check int) "reset" 0 (Obs.Metric.value c))
+
+let test_gauge_survives_disable () =
+  (* gauge writes are deliberately ungated: configuration recorded while
+     telemetry is off must be visible after it is switched on *)
+  with_obs_off (fun () ->
+      let g = Obs.Metric.gauge () in
+      Obs.Metric.set_gauge g 7;
+      Obs.set_enabled true;
+      Alcotest.(check int) "set while disabled" 7 (Obs.Metric.gauge_value g))
+
+(* ---- disabled mode is a no-op ---- *)
+
+let test_disabled_noop () =
+  with_obs_off (fun () ->
+      let c = Obs.Metric.counter () in
+      let h = Obs.Metric.histogram () in
+      Obs.Metric.incr c;
+      Obs.Metric.add c 100;
+      Obs.Metric.observe h 1234;
+      Alcotest.(check int) "counter untouched" 0 (Obs.Metric.value c);
+      Alcotest.(check int) "histogram untouched" 0 (Obs.Metric.hist_count h);
+      Alcotest.(check int) "time_start sentinel" 0 (Obs.time_start ());
+      Obs.Metric.observe_since h 0;
+      Alcotest.(check int) "observe_since no-op" 0 (Obs.Metric.hist_count h);
+      Obs.Span.clear ();
+      let r = Obs.Span.with_span "noop" (fun () -> 17) in
+      Alcotest.(check int) "with_span passthrough" 17 r;
+      Alcotest.(check int) "no events" 0 (List.length (Obs.Span.events ())))
+
+(* ---- histograms ---- *)
+
+let test_histogram_buckets () =
+  with_obs (fun () ->
+      Alcotest.(check int) "bucket_of 0" 0 (Obs.Metric.bucket_of 0);
+      Alcotest.(check int) "bucket_of 1" 0 (Obs.Metric.bucket_of 1);
+      Alcotest.(check int) "bucket_of 2" 1 (Obs.Metric.bucket_of 2);
+      (* bucket b holds 2^(b-1) < v <= 2^b *)
+      List.iter
+        (fun b ->
+          Alcotest.(check int)
+            (Printf.sprintf "lower edge of bucket %d" b)
+            b
+            (Obs.Metric.bucket_of ((1 lsl (b - 1)) + 1));
+          Alcotest.(check int)
+            (Printf.sprintf "upper edge of bucket %d" b)
+            b
+            (Obs.Metric.bucket_of (1 lsl b)))
+        [ 2; 3; 10; 20; 40 ];
+      let h = Obs.Metric.histogram () in
+      List.iter (Obs.Metric.observe h) [ 1; 3; 3; 1000; 0 ];
+      Alcotest.(check int) "count" 5 (Obs.Metric.hist_count h);
+      Alcotest.(check int) "sum" 1007 (Obs.Metric.hist_sum h);
+      let b = Obs.Metric.hist_buckets h in
+      Alcotest.(check int) "bucket 0 (v<=1)" 2 b.(0);
+      Alcotest.(check int) "bucket 2 (3..4)" 2 b.(2);
+      Alcotest.(check int) "bucket 10 (513..1024)" 1 b.(10);
+      Alcotest.(check int) "total across buckets" 5
+        (Array.fold_left ( + ) 0 b))
+
+(* ---- shard merge under a real multi-domain pool ---- *)
+
+let test_shard_merge () =
+  with_obs (fun () ->
+      let c = Obs.Registry.counter "test.obs.shard_merge" in
+      let h = Obs.Registry.histogram "test.obs.shard_merge_ns" in
+      let n = 10_000 in
+      with_pool ~domains:4 (fun p ->
+          Parallel.Pool.for_range p n (fun i ->
+              Obs.Metric.incr c;
+              Obs.Metric.observe h (i land 1023)));
+      Alcotest.(check int) "counter merged exactly" n (Obs.Metric.value c);
+      Alcotest.(check int) "histogram merged exactly" n
+        (Obs.Metric.hist_count h);
+      Alcotest.(check int) "bucket totals merged" n
+        (Array.fold_left ( + ) 0 (Obs.Metric.hist_buckets h)))
+
+(* ---- workload-semantic metrics are pool-size invariant ---- *)
+
+let test_domain_invariance () =
+  let evals_with domains =
+    with_obs (fun () ->
+        with_pool ~domains (fun p ->
+            ignore
+              (Mining.Dist_matrix.of_fun ~pool:p 80 (fun i j ->
+                   float_of_int (i + j))));
+        match Obs.Registry.find "kitdpe.mining.dist_matrix.evals" with
+        | Some (Obs.Registry.Vcounter n) -> n
+        | _ -> Alcotest.fail "evals counter missing")
+  in
+  let e1 = evals_with 1 and e2 = evals_with 2 and e4 = evals_with 4 in
+  Alcotest.(check int) "n(n-1)/2 evals, 1 domain" (80 * 79 / 2) e1;
+  Alcotest.(check int) "same under 2 domains" e1 e2;
+  Alcotest.(check int) "same under 4 domains" e1 e4
+
+(* ---- OPE cache counters, end to end ---- *)
+
+let test_ope_cache_counters () =
+  with_obs (fun () ->
+      let ope =
+        Crypto.Ope.create ~master:"test-obs" ~purpose:"cache"
+          { Crypto.Ope.plain_bits = 24; cipher_bits = 48 }
+      in
+      let vals = Array.init 50 (fun i -> i * 31) in
+      Array.iter (fun v -> ignore (Crypto.Ope.encrypt ope v)) vals;
+      Array.iter (fun v -> ignore (Crypto.Ope.encrypt ope v)) vals;
+      let s = Crypto.Ope.cache_stats ope in
+      Alcotest.(check int) "one miss per distinct value" 50
+        s.Crypto.Ope.misses;
+      Alcotest.(check bool) "warm pass hits" true (s.Crypto.Ope.hits >= 50);
+      Alcotest.(check int) "cache holds the distinct values" 50
+        s.Crypto.Ope.size;
+      Alcotest.(check int) "no evictions" 0 s.Crypto.Ope.evictions;
+      (match Obs.Registry.find "kitdpe.crypto.ope.cache_hits" with
+       | Some (Obs.Registry.Vcounter n) ->
+         Alcotest.(check bool) "registry hits > 0" true (n > 0)
+       | _ -> Alcotest.fail "registry hit counter missing"))
+
+(* ---- span ring buffer ---- *)
+
+let test_span_ring_overflow () =
+  with_obs (fun () ->
+      Obs.Span.set_capacity 4;
+      Fun.protect
+        ~finally:(fun () -> Obs.Span.set_capacity 8192)
+        (fun () ->
+          for i = 1 to 10 do
+            Obs.Span.record ~name:(Printf.sprintf "s%d" i) ~ts_ns:i
+              ~dur_ns:1 ()
+          done;
+          let evs = Obs.Span.events () in
+          Alcotest.(check int) "ring keeps the newest 4" 4 (List.length evs);
+          Alcotest.(check int) "6 dropped" 6 (Obs.Span.dropped ());
+          Alcotest.(check (list string)) "oldest-first order"
+            [ "s7"; "s8"; "s9"; "s10" ]
+            (List.map (fun e -> e.Obs.Span.name) evs)))
+
+(* ---- trace / JSON well-formedness ---- *)
+
+(* minimal JSON validator: accepts exactly RFC-8259 structure, returns
+   the number of values parsed so tests can assert non-triviality *)
+let check_json label s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let values = ref 0 in
+  let fail msg =
+    Alcotest.fail (Printf.sprintf "%s: %s at byte %d" label msg !pos)
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = Stdlib.incr pos in
+  let rec ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word =
+    String.iter expect word;
+    Stdlib.incr values
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+           advance ();
+           go ()
+         | Some 'u' ->
+           advance ();
+           for _ = 1 to 4 do
+             match peek () with
+             | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+             | _ -> fail "bad \\u escape"
+           done;
+           go ()
+         | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ();
+    Stdlib.incr values
+  in
+  let number () =
+    let digits () =
+      let saw = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          saw := true;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if not !saw then fail "expected digit"
+    in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    digits ();
+    (match peek () with
+     | Some '.' ->
+       advance ();
+       digits ()
+     | _ -> ());
+    (match peek () with
+     | Some ('e' | 'E') ->
+       advance ();
+       (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+       digits ()
+     | _ -> ());
+    Stdlib.incr values
+  in
+  let rec value () =
+    ws ();
+    (match peek () with
+     | Some '{' -> obj ()
+     | Some '[' -> arr ()
+     | Some '"' -> string_lit ()
+     | Some 't' -> literal "true"
+     | Some 'f' -> literal "false"
+     | Some 'n' -> literal "null"
+     | Some ('-' | '0' .. '9') -> number ()
+     | _ -> fail "expected a value");
+    ws ()
+  and obj () =
+    expect '{';
+    ws ();
+    (match peek () with
+     | Some '}' -> advance ()
+     | _ ->
+       let rec members () =
+         ws ();
+         string_lit ();
+         ws ();
+         expect ':';
+         value ();
+         match peek () with
+         | Some ',' ->
+           advance ();
+           members ()
+         | _ -> expect '}'
+       in
+       members ());
+    Stdlib.incr values
+  and arr () =
+    expect '[';
+    ws ();
+    (match peek () with
+     | Some ']' -> advance ()
+     | _ ->
+       let rec elements () =
+         value ();
+         match peek () with
+         | Some ',' ->
+           advance ();
+           elements ()
+         | _ -> expect ']'
+       in
+       elements ());
+    Stdlib.incr values
+  in
+  value ();
+  if !pos <> n then fail "trailing garbage";
+  !values
+
+let test_trace_export () =
+  with_obs (fun () ->
+      ignore
+        (Obs.Span.with_span ~cat:"test" "alpha \"quoted\" \\ back" (fun () ->
+             Obs.Span.record ~cat:"test" ~name:"beta\nnewline" ~ts_ns:10
+               ~dur_ns:5 ();
+             1));
+      let c = Obs.Registry.counter "test.obs.trace_counter" in
+      Obs.Metric.incr c;
+      let h = Obs.Registry.histogram "test.obs.trace_ns" in
+      Obs.Metric.observe h 1000;
+      let json = Obs.Trace.to_string () in
+      let nvals = check_json "trace" json in
+      Alcotest.(check bool) "trace is non-trivial" true (nvals > 10);
+      let contains needle =
+        let nl = String.length needle and jl = String.length json in
+        let rec go i =
+          i + nl <= jl
+          && (String.sub json i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "has traceEvents" true (contains "\"traceEvents\"");
+      Alcotest.(check bool) "has complete events" true (contains "\"ph\":\"X\"");
+      Alcotest.(check bool) "embeds the registry" true
+        (contains "test.obs.trace_counter");
+      Alcotest.(check bool) "escapes newlines" true (contains "beta\\nnewline"))
+
+let test_registry_dump_json () =
+  with_obs (fun () ->
+      Obs.Metric.incr (Obs.Registry.counter "test.obs.dump_c");
+      Obs.Metric.observe (Obs.Registry.histogram "test.obs.dump_h") 42;
+      Obs.Metric.set_gauge (Obs.Registry.gauge "test.obs.dump_g") 3;
+      let json = Obs.Registry.dump_json () in
+      ignore (check_json "registry dump" json);
+      Alcotest.check_raises "kind mismatch rejected"
+        (Invalid_argument
+           "Obs.Registry: test.obs.dump_c already registered with another kind")
+        (fun () -> ignore (Obs.Registry.histogram "test.obs.dump_c")))
+
+let () =
+  Alcotest.run "obs"
+    [ ("metrics",
+       [ Alcotest.test_case "counter" `Quick test_counter;
+         Alcotest.test_case "gauge survives disable" `Quick
+           test_gauge_survives_disable;
+         Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+         Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets ]);
+      ("sharding",
+       [ Alcotest.test_case "merge under 4 domains" `Quick test_shard_merge;
+         Alcotest.test_case "pool-size invariance" `Quick
+           test_domain_invariance ]);
+      ("instrumentation",
+       [ Alcotest.test_case "ope cache counters" `Quick
+           test_ope_cache_counters ]);
+      ("spans",
+       [ Alcotest.test_case "ring overflow" `Quick test_span_ring_overflow;
+         Alcotest.test_case "trace export is valid JSON" `Quick
+           test_trace_export;
+         Alcotest.test_case "registry dump json" `Quick
+           test_registry_dump_json ]) ]
