@@ -53,7 +53,7 @@ let divmod a b =
 
 let compare a b =
   match sign a, sign b with
-  | sa, sb when sa <> sb -> Stdlib.compare sa sb
+  | sa, sb when sa <> sb -> Int.compare sa sb
   | 1, _ -> Bignat.compare a.mag b.mag
   | -1, _ -> Bignat.compare b.mag a.mag
   | _ -> 0

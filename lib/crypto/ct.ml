@@ -1,0 +1,18 @@
+(* Constant-time helpers shared by the PPE layer.
+
+   [equal] is the one comparison allowed on secret material (lint rule
+   CT01): the length check is public information (ciphertext layouts fix
+   tag/SIV lengths), and the fold touches every byte regardless of where
+   the first mismatch occurs, so the running time is independent of the
+   byte values. *)
+
+let equal a b =
+  let la = String.length a and lb = String.length b in
+  if la <> lb then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to la - 1 do
+      acc := !acc lor (Char.code (String.unsafe_get a i) lxor Char.code (String.unsafe_get b i))
+    done;
+    !acc = 0
+  end

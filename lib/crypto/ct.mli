@@ -1,0 +1,18 @@
+(** Constant-time comparison for secret material.
+
+    Both [Det] (SIV re-verification) and [Prob] (encrypt-then-MAC tag
+    check) compare an attacker-supplied byte string against a freshly
+    computed PRF output.  A short-circuiting comparison ([String.equal],
+    [=]) returns at the first differing byte, so its running time reveals
+    the length of the matching prefix — the classic remote timing oracle
+    on MAC verification (fixed in this tree per the OPE/DET timing
+    side-channel literature, see DESIGN.md §8).  Lint rule CT01 rejects
+    those; this module provides the replacement. *)
+
+val equal : string -> string -> bool
+(** [equal a b] is [true] iff [a] and [b] have the same length and
+    contents.  The length comparison may exit early (lengths are public:
+    tag and SIV sizes are fixed by the ciphertext layout); the content
+    comparison always inspects every byte of both strings, accumulating
+    differences with constant-time bitwise ops, so timing is independent
+    of where — or whether — the strings differ. *)

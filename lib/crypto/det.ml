@@ -24,7 +24,7 @@ let decrypt k ct =
   else begin
     let iv = String.sub ct 0 16 in
     let msg = Block_modes.ctr_transform k.enc ~iv (String.sub ct 16 (n - 16)) in
-    if String.equal (siv_of k msg) iv then Some msg else None
+    if Ct.equal (siv_of k msg) iv then Some msg else None
   end
 
 let token = siv_of

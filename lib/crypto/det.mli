@@ -13,7 +13,8 @@ val encrypt : key -> string -> string
 (** Layout: SIV (16) ‖ CT (|msg|).  Deterministic. *)
 
 val decrypt : key -> string -> string option
-(** [None] if the ciphertext is malformed or its SIV does not re-verify. *)
+(** [None] if the ciphertext is malformed or its SIV does not re-verify.
+    The SIV comparison is constant-time ({!Ct.equal}, lint rule CT01). *)
 
 val token : key -> string -> string
 (** [token k msg] is the 16-byte SIV alone — a deterministic, equality-

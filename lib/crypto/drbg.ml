@@ -6,7 +6,7 @@ type t = {
 let update t provided =
   t.key <- Hmac.hmac_sha256 ~key:t.key (t.v ^ "\x00" ^ provided);
   t.v <- Hmac.hmac_sha256 ~key:t.key t.v;
-  if provided <> "" then begin
+  if String.length provided > 0 then begin
     t.key <- Hmac.hmac_sha256 ~key:t.key (t.v ^ "\x01" ^ provided);
     t.v <- Hmac.hmac_sha256 ~key:t.key t.v
   end

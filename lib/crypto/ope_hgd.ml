@@ -101,7 +101,7 @@ let hgd_sample ~draws ~whites ~total u =
       end
     done;
     (* order visited by k and walk the CDF *)
-    let ordered = List.sort compare !visited in
+    let ordered = List.sort (fun (ka, _) (kb, _) -> Int.compare ka kb) !visited in
     let rec walk acc = function
       | [] -> hi
       | (k, p) :: rest ->

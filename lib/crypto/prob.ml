@@ -14,14 +14,6 @@ let encrypt k rng msg =
 
 let min_ciphertext_length = 16 + tag_len
 
-let constant_time_equal a b =
-  String.length a = String.length b
-  && begin
-    let acc = ref 0 in
-    String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
-    !acc = 0
-  end
-
 let decrypt k ct =
   let n = String.length ct in
   if n < min_ciphertext_length then None
@@ -30,7 +22,7 @@ let decrypt k ct =
     let body = String.sub ct 16 (n - 16 - tag_len) in
     let tag = String.sub ct (n - tag_len) tag_len in
     let expect = String.sub (Hmac.hmac_sha256 ~key:k.mac (iv ^ body)) 0 tag_len in
-    if constant_time_equal tag expect then
+    if Ct.equal tag expect then
       Some (Block_modes.ctr_transform k.enc ~iv body)
     else None
   end

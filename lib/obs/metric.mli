@@ -1,0 +1,57 @@
+(** Metric cells sharded by domain id.
+
+    Writers pick a shard from [Domain.self ()] and bump it with one
+    [Atomic.fetch_and_add]; readers merge all shards on demand.  No
+    locks anywhere.  Counter and histogram updates are gated on
+    {!Control.enabled}, so with observability off an instrumented hot
+    path costs exactly one atomic load and allocates nothing. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : unit -> counter
+(** An unregistered counter (tests); production code uses
+    [Registry.counter]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val value : counter -> int
+(** Merge-on-read sum over all shards. *)
+
+val reset_counter : counter -> unit
+
+val gauge : unit -> gauge
+(** Gauge writes are {e not} gated on the enabled flag: they record
+    cold-path configuration (one atomic store, no allocation) and must
+    survive a later [set_enabled true]. *)
+
+val set_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+val reset_gauge : gauge -> unit
+
+val histogram : unit -> histogram
+
+val observe : histogram -> int -> unit
+(** Record one observation (intended unit: nanoseconds).  Bucket [b]
+    counts values [v] with [2^(b-1) < v <= 2^b]; bucket [0] collects
+    [v <= 1]. *)
+
+val observe_since : histogram -> int -> unit
+(** [observe_since h t0] records [now_ns () - t0]; no-op when [t0 = 0]
+    (the [Obs.time_start] disabled sentinel). *)
+
+val bucket_of : int -> int
+(** The log2 bucket index an observation lands in (exposed for tests and
+    renderers). *)
+
+val bucket_count : int
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+
+val hist_buckets : histogram -> int array
+(** Merged per-bucket counts, length {!bucket_count}. *)
+
+val reset_histogram : histogram -> unit

@@ -1,0 +1,41 @@
+(** Process-wide [name -> metric] table.  Creation is get-or-create
+    under a mutex (cold path, typically once per module at init);
+    updates go straight to the sharded cells; {!snapshot} merges on
+    read.
+
+    Naming convention: [kitdpe.<layer>.<name>], e.g.
+    [kitdpe.crypto.ope.cache_hits].  Metrics outside [kitdpe.parallel.*]
+    describe the workload and are invariant under [KITDPE_DOMAINS];
+    [kitdpe.parallel.*] describes the execution substrate and
+    legitimately varies with the pool size. *)
+
+val counter : string -> Metric.counter
+val gauge : string -> Metric.gauge
+
+val histogram : string -> Metric.histogram
+(** Get or create.  @raise Invalid_argument if the name is already
+    registered with a different kind. *)
+
+type value =
+  | Vcounter of int
+  | Vgauge of int
+  | Vhistogram of { count : int; sum : int; buckets : (int * int) list }
+      (** [buckets] lists only non-empty buckets as [(log2_index, count)]. *)
+
+type sample = { name : string; value : value }
+
+val snapshot : unit -> sample list
+(** Merge-on-read snapshot of every registered metric, sorted by name. *)
+
+val find : string -> value option
+
+val reset : unit -> unit
+(** Zero every registered metric (keeps registrations). *)
+
+val dump : Format.formatter -> unit
+(** Human-readable one-line-per-metric text dump. *)
+
+val dump_json : unit -> string
+(** The snapshot as one JSON object:
+    [{"<name>": {"type": "counter", "value": n}, ...}]; histograms carry
+    [count], [sum_ns] and a [[log2_bucket, count]] list. *)

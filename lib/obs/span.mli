@@ -1,0 +1,33 @@
+(** Coarse-grained timed sections collected into a bounded ring buffer
+    (completion order; oldest events are overwritten and counted as
+    dropped).  Spans are per-batch, not per-cell, so a mutex-guarded
+    ring is plenty: the lock is taken once per completed span. *)
+
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int;  (** span start, wall-clock ns *)
+  dur_ns : int;
+  tid : int;  (** domain id *)
+}
+
+val default_capacity : int
+(** 8192 events. *)
+
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** Run the thunk and record one event; when disabled this is a direct
+    call to the thunk.  The event is recorded even if the thunk
+    raises. *)
+
+val record : ?cat:string -> name:string -> ts_ns:int -> dur_ns:int -> unit -> unit
+(** Record a pre-timed event (for call sites that avoid closures on the
+    hot path). *)
+
+val events : unit -> event list
+(** Oldest first. *)
+
+val dropped : unit -> int
+val clear : unit -> unit
+
+val set_capacity : int -> unit
+(** Resize the ring (drops buffered events). *)

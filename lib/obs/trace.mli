@@ -1,0 +1,8 @@
+(** Chrome [trace_event] exporter (JSON object format): loads directly
+    in [chrome://tracing] and Perfetto.  Spans become "X" (complete)
+    events with microsecond timestamps, one track per domain id, plus
+    process/thread metadata; the registry snapshot rides along under
+    [otherData.metrics]. *)
+
+val to_string : unit -> string
+val write_file : string -> unit

@@ -1,0 +1,4 @@
+(* fixture: CT02 — polymorphic comparison *)
+let cmp a b = Stdlib.compare a b
+
+let is_missing opt = opt = None

@@ -1,0 +1,2 @@
+val cmp : 'a -> 'a -> int
+val is_missing : 'a option -> bool

@@ -1,0 +1,4 @@
+(* fixture: CT01 — variable-time comparisons on secret material *)
+let verify_tag tag expect = String.equal tag expect
+
+let check_siv siv iv = siv = iv

@@ -1,0 +1,2 @@
+val verify_tag : string -> string -> bool
+val check_siv : string -> string -> bool

@@ -1,0 +1,4 @@
+(* fixture: a clean crypto module — zero findings expected *)
+let rotl x n = (x lsl n) lor (x lsr (32 - n))
+
+let sum = List.fold_left ( + ) 0

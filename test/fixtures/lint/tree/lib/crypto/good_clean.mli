@@ -1,0 +1,2 @@
+val rotl : int -> int -> int
+val sum : int list -> int

@@ -1,0 +1,2 @@
+(* kitdpe-lint: allow CT01 — fixture: the suppression syntax itself *)
+let verify_tag tag expect = String.equal tag expect

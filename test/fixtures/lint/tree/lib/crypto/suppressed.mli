@@ -1,0 +1,1 @@
+val verify_tag : string -> string -> bool

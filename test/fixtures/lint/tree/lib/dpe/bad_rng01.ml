@@ -1,0 +1,4 @@
+(* fixture: RNG01 — ambient randomness and MD5 *)
+let draw () = Random.int 100
+
+let checksum s = Digest.string s

@@ -1,0 +1,2 @@
+val draw : unit -> int
+val checksum : string -> string

@@ -1,0 +1,4 @@
+(* fixture: UNSAFE01 — type-system escapes *)
+let coerce (x : int) : string = Obj.magic x
+
+let save v = Marshal.to_string v []

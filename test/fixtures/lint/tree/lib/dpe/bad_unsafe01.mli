@@ -1,0 +1,2 @@
+val coerce : int -> string
+val save : 'a -> string

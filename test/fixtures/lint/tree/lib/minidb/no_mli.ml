@@ -1,0 +1,2 @@
+(* fixture: MLI01 — library module without an interface *)
+let answer = 42

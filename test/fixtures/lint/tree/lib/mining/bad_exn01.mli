@@ -1,0 +1,1 @@
+val run : 'pool -> int -> unit

@@ -7,17 +7,28 @@ let check_bool = Alcotest.(check bool)
 let n = N.of_string
 let s = N.to_string
 
-(* deterministic byte source for primality tests *)
+(* Deterministic byte source for primality tests: a splitmix64-style
+   mixer keyed by the seed string.  No Digest (MD5, lint RNG01) and no
+   ambient state — same seed, same stream, on every run. *)
 let seeded_rng seed =
-  let counter = ref 0 in
+  let state =
+    ref (String.fold_left (fun h c -> ((h * 1000003) + Char.code c) land max_int) 0x9E3779B9 seed)
+  in
+  let next () =
+    (* splitmix-style avalanche on a 62-bit state (constants fit OCaml's
+       63-bit native int; taken from the xorshift64* family) *)
+    let z = (!state + 0x2545F4914F6CDD1D) land max_int in
+    state := z;
+    let z = ((z lxor (z lsr 30)) * 0x369DEA0F31A53F85) land max_int in
+    let z = ((z lxor (z lsr 27)) * 0x27D4EB2F165667C5) land max_int in
+    z lxor (z lsr 31)
+  in
   fun k ->
-    incr counter;
-    let h = Digest.string (Printf.sprintf "%s/%d" seed !counter) in
-    let rec extend acc =
-      if String.length acc >= k then String.sub acc 0 k
-      else extend (acc ^ Digest.string acc)
-    in
-    extend h
+    let b = Bytes.create k in
+    for i = 0 to k - 1 do
+      Bytes.set b i (Char.chr (next () land 0xff))
+    done;
+    Bytes.to_string b
 
 (* ---- unit tests ---- *)
 
@@ -343,5 +354,5 @@ let () =
       ("bigint",
        [ Alcotest.test_case "basics" `Quick test_bigint_basics;
          Alcotest.test_case "egcd and inverse" `Quick test_bigint_egcd ]);
-      ("bigint-properties", List.map QCheck_alcotest.to_alcotest bigint_properties);
-      ("properties", List.map QCheck_alcotest.to_alcotest properties) ]
+      ("bigint-properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) bigint_properties);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) properties) ]

@@ -346,15 +346,15 @@ let () =
       ("det", [ Alcotest.test_case "DET scheme" `Quick test_det ]);
       ("ope",
        Alcotest.test_case "OPE unit" `Quick test_ope_unit
-       :: List.map QCheck_alcotest.to_alcotest ope_properties);
+       :: List.map (fun t -> QCheck_alcotest.to_alcotest t) ope_properties);
       ("ope-hgd",
        Alcotest.test_case "HGD OPE unit" `Slow test_ope_hgd_unit
-       :: List.map QCheck_alcotest.to_alcotest ope_hgd_properties);
+       :: List.map (fun t -> QCheck_alcotest.to_alcotest t) ope_hgd_properties);
       ("paillier",
        Alcotest.test_case "Paillier unit" `Quick test_paillier
-       :: List.map QCheck_alcotest.to_alcotest paillier_properties);
+       :: List.map (fun t -> QCheck_alcotest.to_alcotest t) paillier_properties);
       ("misc",
        [ Alcotest.test_case "hex" `Quick test_hex;
          Alcotest.test_case "join keys" `Quick test_join_enc;
          Alcotest.test_case "keyring" `Quick test_keyring ]);
-      ("roundtrips", List.map QCheck_alcotest.to_alcotest roundtrip_properties) ]
+      ("roundtrips", List.map (fun t -> QCheck_alcotest.to_alcotest t) roundtrip_properties) ]

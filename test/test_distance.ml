@@ -400,17 +400,17 @@ let () =
   Alcotest.run "distance"
     [ ("jaccard",
        Alcotest.test_case "unit" `Quick test_jaccard
-       :: List.map QCheck_alcotest.to_alcotest jaccard_properties);
+       :: List.map (fun t -> QCheck_alcotest.to_alcotest t) jaccard_properties);
       ("interval",
        [ Alcotest.test_case "basics" `Quick test_interval_basics;
          Alcotest.test_case "algebra" `Quick test_interval_algebra;
          Alcotest.test_case "monotone map" `Quick test_interval_monotone_map ]
-       @ List.map QCheck_alcotest.to_alcotest interval_properties);
+       @ List.map (fun t -> QCheck_alcotest.to_alcotest t) interval_properties);
       ("features", [ Alcotest.test_case "extraction" `Quick test_features ]);
       ("token", [ Alcotest.test_case "token distance" `Quick test_token_distance ]);
       ("edit",
        Alcotest.test_case "edit distance" `Quick test_edit_distance
-       :: List.map QCheck_alcotest.to_alcotest edit_properties);
+       :: List.map (fun t -> QCheck_alcotest.to_alcotest t) edit_properties);
       ("clause", [ Alcotest.test_case "aligon distance" `Quick test_clause_distance ]);
       ("access",
        [ Alcotest.test_case "areas" `Quick test_access_areas;
@@ -419,4 +419,4 @@ let () =
       ("result", [ Alcotest.test_case "result distance" `Quick test_result_distance ]);
       ("measure",
        Alcotest.test_case "dispatch" `Quick test_measure
-       :: List.map QCheck_alcotest.to_alcotest measure_properties) ]
+       :: List.map (fun t -> QCheck_alcotest.to_alcotest t) measure_properties) ]

@@ -525,4 +525,4 @@ let () =
          Alcotest.test_case "decoy injection" `Slow test_decoys;
          Alcotest.test_case "key rotation" `Quick test_key_rotation ]);
       ("properties",
-       List.map QCheck_alcotest.to_alcotest (value_roundtrip_props @ dpe_properties)) ]
+       List.map (fun t -> QCheck_alcotest.to_alcotest t) (value_roundtrip_props @ dpe_properties)) ]

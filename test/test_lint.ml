@@ -1,0 +1,139 @@
+(* kitdpe_lint test suite.
+
+   Two halves:
+   - fixture tests: each known-bad file under fixtures/lint/tree/ must
+     produce exactly the expected (rule, line) findings, the known-good
+     and suppressed files must produce none;
+   - the real repository must lint clean (the CI gate in code form).
+
+   The fixture tree mimics the repo layout (lib/crypto/..., lib/bignum/
+   ...) because rules are path-scoped and the engine matches directory
+   segments anywhere in the path. *)
+
+module Engine = Lint_core.Engine
+module Rule = Lint_core.Rule
+
+let fixture path = Filename.concat "fixtures/lint/tree" path
+
+let findings_of path = (Engine.run ~roots:[ fixture path ]).Engine.findings
+
+let pairs fs = List.map (fun (f : Rule.finding) -> (f.Rule.rule, f.Rule.line)) fs
+
+let check_findings name path expected =
+  Alcotest.(check (list (pair string int))) name expected (pairs (findings_of path))
+
+let check_errors_nonzero path =
+  let r = Engine.run ~roots:[ fixture path ] in
+  Alcotest.(check bool)
+    (path ^ " has error findings")
+    true
+    (Engine.errors r <> [])
+
+(* ---- fixtures: one known-bad file per rule ---- *)
+
+let test_ct01 () =
+  check_findings "CT01 fixture" "lib/crypto/bad_ct01.ml"
+    [ ("CT01", 2); ("CT01", 4) ];
+  check_errors_nonzero "lib/crypto/bad_ct01.ml"
+
+let test_ct02 () =
+  check_findings "CT02 fixture" "lib/bignum/bad_ct02.ml"
+    [ ("CT02", 2); ("CT02", 4) ];
+  check_errors_nonzero "lib/bignum/bad_ct02.ml"
+
+let test_rng01 () =
+  check_findings "RNG01 fixture" "lib/dpe/bad_rng01.ml"
+    [ ("RNG01", 2); ("RNG01", 4) ];
+  check_errors_nonzero "lib/dpe/bad_rng01.ml"
+
+let test_unsafe01 () =
+  check_findings "UNSAFE01 fixture" "lib/dpe/bad_unsafe01.ml"
+    [ ("UNSAFE01", 2); ("UNSAFE01", 4) ];
+  check_errors_nonzero "lib/dpe/bad_unsafe01.ml"
+
+let test_exn01 () =
+  check_findings "EXN01 fixture" "lib/mining/bad_exn01.ml"
+    [ ("EXN01", 4); ("EXN01", 5) ];
+  check_errors_nonzero "lib/mining/bad_exn01.ml"
+
+let test_mli01 () =
+  check_findings "MLI01 fixture" "lib/minidb/no_mli.ml" [ ("MLI01", 1) ];
+  check_errors_nonzero "lib/minidb/no_mli.ml"
+
+(* ---- fixtures: clean & suppressed ---- *)
+
+let test_good_clean () =
+  check_findings "clean fixture" "lib/crypto/good_clean.ml" []
+
+let test_suppression () =
+  check_findings "inline allow comment" "lib/crypto/suppressed.ml" []
+
+let test_whole_fixture_tree () =
+  (* walking the whole tree finds every bad file and nothing else *)
+  let r = Engine.run ~roots:[ "fixtures/lint/tree" ] in
+  let by_rule rule =
+    List.length
+      (List.filter (fun (f : Rule.finding) -> String.equal f.Rule.rule rule) r.Engine.findings)
+  in
+  Alcotest.(check int) "CT01 count" 2 (by_rule "CT01");
+  Alcotest.(check int) "CT02 count" 2 (by_rule "CT02");
+  Alcotest.(check int) "RNG01 count" 2 (by_rule "RNG01");
+  Alcotest.(check int) "UNSAFE01 count" 2 (by_rule "UNSAFE01");
+  Alcotest.(check int) "EXN01 count" 2 (by_rule "EXN01");
+  Alcotest.(check int) "MLI01 count" 1 (by_rule "MLI01");
+  Alcotest.(check int) "total" 11 (List.length r.Engine.findings)
+
+(* ---- the baseline mechanism ---- *)
+
+let test_baseline () =
+  let r = Engine.run ~roots:[ fixture "lib/minidb/no_mli.ml" ] in
+  let keys = List.map Engine.baseline_key r.Engine.findings in
+  let filtered = Engine.apply_baseline keys r in
+  Alcotest.(check int) "baselined away" 0 (List.length filtered.Engine.findings);
+  let unrelated = Engine.apply_baseline [ "CT01 elsewhere.ml:1" ] r in
+  Alcotest.(check int) "unrelated baseline keeps findings" 1
+    (List.length unrelated.Engine.findings)
+
+(* ---- the real tree lints clean ---- *)
+
+let repo_root () =
+  (* tests run in _build/default/test; walk up to the checkout *)
+  let rec go dir depth =
+    if depth > 8 then None
+    else if
+      Sys.file_exists (Filename.concat dir "dune-project")
+      && Sys.file_exists (Filename.concat dir "lib/crypto")
+    then Some dir
+    else go (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  go (Sys.getcwd ()) 0
+
+let test_repo_clean () =
+  match repo_root () with
+  | None -> Alcotest.skip ()
+  | Some root ->
+    let roots =
+      List.map (Filename.concat root) [ "lib"; "bin"; "bench"; "test" ]
+    in
+    let r = Engine.run ~roots in
+    let show (f : Rule.finding) =
+      Printf.sprintf "%s:%d [%s] %s" f.Rule.file f.Rule.line f.Rule.rule f.Rule.message
+    in
+    Alcotest.(check (list string))
+      "repository lints clean" [] (List.map show r.Engine.findings);
+    Alcotest.(check bool) "scanned a real tree" true (r.Engine.files_scanned > 100)
+
+let () =
+  Alcotest.run "lint"
+    [ ( "fixtures",
+        [ Alcotest.test_case "CT01" `Quick test_ct01;
+          Alcotest.test_case "CT02" `Quick test_ct02;
+          Alcotest.test_case "RNG01" `Quick test_rng01;
+          Alcotest.test_case "UNSAFE01" `Quick test_unsafe01;
+          Alcotest.test_case "EXN01" `Quick test_exn01;
+          Alcotest.test_case "MLI01" `Quick test_mli01;
+          Alcotest.test_case "clean file" `Quick test_good_clean;
+          Alcotest.test_case "suppression" `Quick test_suppression;
+          Alcotest.test_case "whole tree" `Quick test_whole_fixture_tree;
+          Alcotest.test_case "baseline" `Quick test_baseline ] );
+      ("repo", [ Alcotest.test_case "lints clean" `Quick test_repo_clean ]) ]

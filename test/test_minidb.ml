@@ -462,5 +462,5 @@ let () =
       ("index", [ Alcotest.test_case "hash index" `Quick test_index ]);
       ("csv",
        Alcotest.test_case "csv io" `Quick test_csvio
-       :: List.map QCheck_alcotest.to_alcotest csv_properties);
-      ("properties", List.map QCheck_alcotest.to_alcotest exec_properties) ]
+       :: List.map (fun t -> QCheck_alcotest.to_alcotest t) csv_properties);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) exec_properties) ]

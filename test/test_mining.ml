@@ -265,4 +265,4 @@ let () =
       ("apriori", [ Alcotest.test_case "association rules" `Quick test_apriori ]);
       ("silhouette", [ Alcotest.test_case "cluster quality" `Quick test_silhouette ]);
       ("dtw", [ Alcotest.test_case "dynamic time warping" `Quick test_dtw ]);
-      ("properties", List.map QCheck_alcotest.to_alcotest mining_determinism) ]
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) mining_determinism) ]

@@ -49,6 +49,7 @@ let test_for_range_covers_once () =
           Mutex.unlock lock);
       Alcotest.(check (array int)) "each index exactly once"
         (Array.make n 1) hits;
+      (* kitdpe-lint: allow EXN01 — the failure is the assertion here *)
       Parallel.Pool.for_range p 0 (fun _ -> failwith "must not run"))
 
 let test_exception_propagates () =
@@ -58,6 +59,7 @@ let test_exception_propagates () =
       let bump () = Mutex.lock lock; incr ran; Mutex.unlock lock in
       (match
          Parallel.Pool.run_tasks p
+           (* kitdpe-lint: allow EXN01 — this test is the propagation contract *)
            [ bump; (fun () -> failwith "boom"); bump; bump ]
        with
        | () -> Alcotest.fail "expected Failure"

@@ -276,5 +276,5 @@ let () =
          Alcotest.test_case "ast helpers" `Quick test_helpers ]);
       ("normalizer",
        Alcotest.test_case "rewrites" `Quick test_normalizer
-       :: List.map QCheck_alcotest.to_alcotest normalizer_properties);
-      ("properties", List.map QCheck_alcotest.to_alcotest properties) ]
+       :: List.map (fun t -> QCheck_alcotest.to_alcotest t) normalizer_properties);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) properties) ]

@@ -1,0 +1,11 @@
+(* The rule set, in report order.  Adding a rule = new module exposing
+   [rule : Rule.t] + one line here (+ a fixture pair under
+   test/fixtures/lint/ and a DESIGN.md §8 entry). *)
+
+let all : Rule.t list =
+  [ Rule_ct01.rule;
+    Rule_ct02.rule;
+    Rule_rng01.rule;
+    Rule_unsafe01.rule;
+    Rule_exn01.rule;
+    Rule_mli01.rule ]

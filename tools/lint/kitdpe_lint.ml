@@ -1,0 +1,1 @@
+let () = Lint_core.Engine.main ()

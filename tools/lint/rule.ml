@@ -1,0 +1,151 @@
+(* Shared vocabulary for kitdpe_lint rules.
+
+   A rule is a value of type [t]: an id ("CT01"), a severity, a one-line
+   doc string and a [check] function from a parsed source file to
+   findings.  Rules are purely syntactic — they walk the parsetree with
+   [Ast_iterator] and never typecheck — so every heuristic below is
+   documented in DESIGN.md §8 together with its known blind spots. *)
+
+type severity = Error | Warning
+
+let severity_to_string : severity -> string = function
+  | Error -> "error"
+  | Warning -> "warning"
+
+type finding = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type source = {
+  path : string;  (* as scanned; '/'-separated *)
+  segments : string list;  (* [path] split on '/' *)
+  impl : Parsetree.structure option;  (* [Some] for a parsed .ml *)
+  intf : Parsetree.signature option;  (* [Some] for a parsed .mli *)
+}
+
+type t = {
+  id : string;
+  severity : severity;
+  doc : string;
+  check : source -> finding list;
+}
+
+(* ---- path helpers ---- *)
+
+let split_path p = List.filter (fun s -> s <> "") (String.split_on_char '/' p)
+
+let make_source ~path ~impl ~intf = { path; segments = split_path path; impl; intf }
+
+(* [under ["lib"; "crypto"] src] holds when the consecutive segments
+   appear anywhere in the path, so the same rule scoping works for
+   "lib/crypto/det.ml", "/abs/repo/lib/crypto/det.ml" and the fixture
+   tree "test/fixtures/lint/tree/lib/crypto/bad.ml". *)
+let under segs src =
+  let rec prefix = function
+    | [], _ -> true
+    | _, [] -> false
+    | s :: ss, p :: ps -> String.equal s p && prefix (ss, ps)
+  in
+  let rec scan = function
+    | [] -> false
+    | _ :: rest as l -> prefix (segs, l) || scan rest
+  in
+  scan src.segments
+
+let basename src = match List.rev src.segments with [] -> "" | b :: _ -> b
+
+(* ---- findings ---- *)
+
+let at rule severity ~path (loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  { rule;
+    severity;
+    file = path;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message }
+
+(* ---- longident helpers ---- *)
+
+let rec flatten_longident = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_longident l @ [ s ]
+  | Longident.Lapply _ -> []
+
+(* treat [Stdlib.X] and [X] alike *)
+let norm_longident l =
+  match flatten_longident l with
+  | "Stdlib" :: rest -> rest
+  | segs -> segs
+
+(* ---- parsetree walking ---- *)
+
+(* Call [f] on every expression of the structure (pre-order). *)
+let iter_exprs structure f =
+  let open Ast_iterator in
+  let it =
+    { default_iterator with
+      expr = (fun self e -> f e; default_iterator.expr self e) }
+  in
+  it.structure it structure
+
+(* Does any expression of the subtree satisfy [p]? *)
+let exists_expr (e : Parsetree.expression) p =
+  let open Ast_iterator in
+  let found = ref false in
+  let it =
+    { default_iterator with
+      expr =
+        (fun self e ->
+          if not !found then begin
+            if p e then found := true else default_iterator.expr self e
+          end) }
+  in
+  it.expr it e;
+  !found
+
+(* Names that suggest secret material in lib/crypto.  Substring match on
+   the lowercased last component of an identifier. *)
+let secretish_fragments =
+  [ "tag"; "mac"; "siv"; "key"; "token"; "digest"; "secret"; "nonce" ]
+
+let name_is_secretish name =
+  let name = String.lowercase_ascii name in
+  let contains frag =
+    let nf = String.length frag and nn = String.length name in
+    let rec go i = i + nf <= nn && (String.equal (String.sub name i nf) frag || go (i + 1)) in
+    go 0
+  in
+  List.exists contains secretish_fragments
+
+(* [e] mentions an identifier with a secret-suggesting name.  Subtrees of
+   the form [X.length _] are opaque: [String.length key = 16] compares a
+   public length, not the key bytes. *)
+let mentions_secret (e : Parsetree.expression) =
+  let open Parsetree in
+  let found = ref false in
+  let open Ast_iterator in
+  let it =
+    { default_iterator with
+      expr =
+        (fun self e ->
+          if not !found then
+            match e.pexp_desc with
+            | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+              when (match List.rev (flatten_longident txt) with
+                   | "length" :: _ -> true
+                   | _ -> false) ->
+              () (* opaque: length of a secret is not the secret *)
+            | Pexp_ident { txt; _ } ->
+              (match List.rev (flatten_longident txt) with
+               | last :: _ when name_is_secretish last -> found := true
+               | _ -> ())
+            | _ -> default_iterator.expr self e) }
+  in
+  it.expr it e;
+  !found

@@ -1,0 +1,54 @@
+(* CT01 — variable-time comparison of secret material in lib/crypto.
+
+   Flags, inside lib/crypto (except ct.ml, which implements the blessed
+   primitive):
+   - any reference to [String.equal] / [Bytes.equal] (first-class or
+     applied): both short-circuit on the first differing byte, so the
+     running time leaks the length of the matching prefix of a MAC tag
+     or SIV;
+   - [=] / [<>] where an operand mentions an identifier whose name
+     suggests secret material (tag/mac/siv/key/token/digest/secret/
+     nonce); [X.length _] subtrees are opaque since lengths are public.
+
+   The fix is [Crypto.Ct.equal], which always scans every byte. *)
+
+open Parsetree
+
+let id = "CT01"
+let severity = Rule.Error
+
+let check (src : Rule.source) =
+  if not (Rule.under [ "lib"; "crypto" ] src) || String.equal (Rule.basename src) "ct.ml"
+  then []
+  else
+    match src.impl with
+    | None -> []
+    | Some str ->
+      let acc = ref [] in
+      let add loc msg = acc := Rule.at id severity ~path:src.path loc msg :: !acc in
+      Rule.iter_exprs str (fun e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; loc } ->
+            (match Rule.norm_longident txt with
+             | [ "String"; "equal" ] | [ "Bytes"; "equal" ] ->
+               add loc
+                 "variable-time byte comparison in lib/crypto; use Crypto.Ct.equal"
+             | _ -> ())
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
+                args )
+            when List.exists (fun (_, a) -> Rule.mentions_secret a) args ->
+            add e.pexp_loc
+              (Printf.sprintf
+                 "(%s) on a tag/key-bearing value leaks timing; use Crypto.Ct.equal"
+                 op)
+          | _ -> ());
+      List.rev !acc
+
+let rule : Rule.t =
+  { Rule.id;
+    severity;
+    doc =
+      "no String.equal/Bytes.equal or (=)/(<>) on tag- or key-bearing values in \
+       lib/crypto; use Crypto.Ct.equal";
+    check }

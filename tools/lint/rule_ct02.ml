@@ -1,0 +1,93 @@
+(* CT02 — polymorphic comparison in lib/crypto and lib/bignum.
+
+   [Stdlib.compare] and friends walk arbitrary structure in C, with
+   data-dependent branches and no timing discipline; on Bignat limbs it
+   also costs a caml_compare call per limb pair.  Flags, in lib/crypto
+   and lib/bignum:
+   - references to [Stdlib.compare] / [Pervasives.compare], and to bare
+     [compare] when the file does not define its own top-level [compare];
+   - [=] / [<>] where an operand is syntactically structured (string
+     literal, tuple, record, list literal, or a constructor such as
+     [None] / [Some _]) — polymorphic structural equality on composite
+     values.  [true] / [false] / [()] are exempt (immediate ints).
+
+   The fix is a monomorphic comparator: [Int.compare], [String.compare],
+   or the module's own [compare]/[equal]. *)
+
+open Parsetree
+
+let id = "CT02"
+let severity = Rule.Error
+
+let rec pattern_vars (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> [ txt ]
+  | Ppat_alias (p, { txt; _ }) -> txt :: pattern_vars p
+  | Ppat_tuple ps -> List.concat_map pattern_vars ps
+  | Ppat_constraint (p, _) -> pattern_vars p
+  | _ -> []
+
+(* top-level [let compare ...] (or a binding exposing [compare]) *)
+let defines_toplevel_compare (str : structure) =
+  List.exists
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, bindings) ->
+        List.exists
+          (fun vb -> List.mem "compare" (pattern_vars vb.pvb_pat))
+          bindings
+      | _ -> false)
+    str
+
+let structured_operand (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string _) -> true
+  | Pexp_tuple _ | Pexp_record _ | Pexp_variant _ -> true
+  | Pexp_construct (_, Some _) -> true
+  | Pexp_construct ({ txt; _ }, None) ->
+    (match Rule.flatten_longident txt with
+     | [ ("true" | "false" | "()") ] -> false
+     | _ -> true)
+  | _ -> false
+
+let check (src : Rule.source) =
+  if not (Rule.under [ "lib"; "crypto" ] src || Rule.under [ "lib"; "bignum" ] src)
+  then []
+  else
+    match src.impl with
+    | None -> []
+    | Some str ->
+      let local_compare = defines_toplevel_compare str in
+      let acc = ref [] in
+      let add loc msg = acc := Rule.at id severity ~path:src.path loc msg :: !acc in
+      Rule.iter_exprs str (fun e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; loc } ->
+            (match Rule.flatten_longident txt with
+             | [ "Stdlib"; "compare" ] | [ "Pervasives"; "compare" ] ->
+               add loc
+                 "polymorphic Stdlib.compare; use Int.compare / String.compare or \
+                  the module's own compare"
+             | [ "compare" ] when not local_compare ->
+               add loc
+                 "bare polymorphic compare; use Int.compare / String.compare or a \
+                  monomorphic comparator"
+             | _ -> ())
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
+                args )
+            when List.exists (fun (_, a) -> structured_operand a) args ->
+            add e.pexp_loc
+              (Printf.sprintf
+                 "polymorphic (%s) on a structured value; use a monomorphic equal"
+                 op)
+          | _ -> ());
+      List.rev !acc
+
+let rule : Rule.t =
+  { Rule.id;
+    severity;
+    doc =
+      "no polymorphic compare/(=)/(<>) on structured values in lib/crypto and \
+       lib/bignum; use monomorphic comparators";
+    check }

@@ -1,0 +1,31 @@
+(* MLI01 — every library module ships an interface.
+
+   A missing .mli exports every helper, cache and mutable table of a
+   module, so callers (and future refactors) can reach internals the
+   author never meant to expose — in lib/crypto that includes key
+   schedules and DRBG state.  Flags any lib/**/*.ml without a sibling
+   .mli on disk.  bin/, bench/ and test/ executables are exempt (the
+   compiler's warning 70 stays off for the same reason). *)
+
+let id = "MLI01"
+let severity = Rule.Error
+
+let check (src : Rule.source) =
+  if
+    Rule.under [ "lib" ] src
+    && Filename.check_suffix src.path ".ml"
+    && not (Sys.file_exists (src.path ^ "i"))
+  then
+    [ { Rule.rule = id;
+        severity;
+        file = src.path;
+        line = 1;
+        col = 0;
+        message = "library module has no interface; add a " ^ Filename.basename src.path ^ "i" } ]
+  else []
+
+let rule : Rule.t =
+  { Rule.id;
+    severity;
+    doc = "every lib/**/*.ml has a matching .mli";
+    check }

@@ -1,0 +1,70 @@
+(* RNG01 — ambient / non-cryptographic randomness outside the DRBG.
+
+   All entropy in this tree flows through [Crypto.Drbg] (HMAC-DRBG,
+   SP 800-90A style) so that every ciphertext, decoy and OPE draw is
+   reproducible from a seed and, in production, traceable to one
+   auditable source.  Flags, everywhere except lib/crypto/drbg.ml:
+   - any use of [Stdlib.Random] (ambient, splittable PRNG seeded from
+     wall clock / pid — neither cryptographic nor auditable);
+   - any use of [Digest] (MD5 — broken since 2004; use Crypto.Sha256 or
+     Crypto.Hmac);
+   - [Unix.time] / [Unix.gettimeofday] appearing in the arguments of a
+     [Random.*] or [Drbg.*] call (wall-clock-seeded entropy).  Plain
+     timing uses of [Unix.gettimeofday] (e.g. lib/obs) are fine. *)
+
+open Parsetree
+
+let id = "RNG01"
+let severity = Rule.Error
+
+let is_drbg src =
+  Rule.under [ "lib"; "crypto" ] src && String.equal (Rule.basename src) "drbg.ml"
+
+let is_clock_ident (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+    (match Rule.norm_longident txt with
+     | [ "Unix"; ("time" | "gettimeofday") ] -> true
+     | _ -> false)
+  | _ -> false
+
+let check (src : Rule.source) =
+  if is_drbg src then []
+  else
+    match src.impl with
+    | None -> []
+    | Some str ->
+      let acc = ref [] in
+      let add loc msg = acc := Rule.at id severity ~path:src.path loc msg :: !acc in
+      Rule.iter_exprs str (fun e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; loc } ->
+            (match Rule.norm_longident txt with
+             | "Random" :: _ ->
+               add loc
+                 "Stdlib.Random is ambient, non-cryptographic randomness; draw \
+                  from Crypto.Drbg"
+             | "Digest" :: _ ->
+               add loc "Digest is MD5; use Crypto.Sha256 or Crypto.Hmac"
+             | _ -> ())
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+            when (match Rule.norm_longident txt with
+                 | ("Random" | "Drbg") :: _ -> true
+                 | _ -> false) ->
+            List.iter
+              (fun (_, a) ->
+                if Rule.exists_expr a is_clock_ident then
+                  add a.pexp_loc
+                    "wall-clock-seeded entropy; seed Crypto.Drbg from key \
+                     material or an explicit seed")
+              args
+          | _ -> ());
+      List.rev !acc
+
+let rule : Rule.t =
+  { Rule.id;
+    severity;
+    doc =
+      "no Stdlib.Random, Digest (MD5) or wall-clock-seeded entropy outside \
+       lib/crypto/drbg.ml";
+    check }

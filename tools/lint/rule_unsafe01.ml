@@ -1,0 +1,37 @@
+(* UNSAFE01 — type-system escapes.
+
+   [Obj.*] defeats the type system (a misuse is a heap-corrupting
+   security bug, worse than anything the PPE layer could leak) and
+   [Marshal] both bypasses abstraction on write and allows arbitrary
+   value forgery on read.  Neither has a place in a crypto codebase;
+   flagged everywhere, no exemptions. *)
+
+open Parsetree
+
+let id = "UNSAFE01"
+let severity = Rule.Error
+
+let check (src : Rule.source) =
+  match src.impl with
+  | None -> []
+  | Some str ->
+    let acc = ref [] in
+    let add loc msg = acc := Rule.at id severity ~path:src.path loc msg :: !acc in
+    Rule.iter_exprs str (fun e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; loc } ->
+          (match Rule.norm_longident txt with
+           | "Obj" :: _ -> add loc "Obj defeats the type system; find another way"
+           | "Marshal" :: _ ->
+             add loc
+               "Marshal breaks abstraction and allows value forgery on read; \
+                use an explicit codec"
+           | _ -> ())
+        | _ -> ());
+    List.rev !acc
+
+let rule : Rule.t =
+  { Rule.id;
+    severity;
+    doc = "no Obj.magic / Marshal anywhere";
+    check }
