@@ -494,12 +494,244 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Print the derived Table I rows.")
     Term.(const table1 $ const ())
 
+(* ---- chaos: a seeded fault-injection run with an invariant report ----
+
+   Arms each compiled-in injection point in turn against a deterministic
+   Result-measure pipeline and checks the robustness invariants of
+   DESIGN.md §9: with faults off the output is bit-identical for every
+   pool size; with a seeded schedule two runs produce the same typed
+   error report; every batch completes with partial results (no hang,
+   no silently missing row); bounded retry recovers injected transients;
+   disarming restores the baseline bit-for-bit. *)
+
+let chaos seed rows domains report_path =
+  Obs.set_enabled true;
+  Fault.Inject.disarm_all ();
+  let buf = Buffer.create 4096 in
+  let failures = ref 0 in
+  let check name ok detail =
+    if ok then Buffer.add_string buf (Printf.sprintf "ok   %s\n" name)
+    else begin
+      incr failures;
+      Buffer.add_string buf (Printf.sprintf "FAIL %s: %s\n" name detail)
+    end
+  in
+  let note fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+  in
+  note "# kitdpe chaos (seed=%s rows=%d domains=%d)" seed rows domains;
+
+  (* deterministic fixture: the full Result-measure pipeline *)
+  let m = M.Result in
+  let log =
+    Workload.Gen_query.skyserver_log
+      { Workload.Gen_query.n = 20; templates = 4; seed;
+        caps = Workload.Gen_query.caps_for_measure m }
+  in
+  let enc = encryptor_of m "chaos" log in
+  let db = Workload.Gen_db.skyserver ~seed ~rows in
+  let render d =
+    String.concat "\n--\n"
+      (List.map Minidb.Csvio.table_to_string (Minidb.Database.tables d))
+  in
+  let with_pool n f =
+    let p = Parallel.Pool.create ~domains:n () in
+    Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown p) (fun () -> f p)
+  in
+  (* every stage arms its own schedule and disarms on the way out *)
+  let staged spec f =
+    (match Fault.Inject.arm_spec (spec ^ ";seed=" ^ seed) with
+     | Ok () -> ()
+     | Error e -> check ("arm " ^ spec) false e);
+    Fun.protect ~finally:Fault.Inject.disarm_all f
+  in
+  let collected = ref [] in
+  let keep errs = collected := errs @ !collected in
+  let report_of errs = List.map Fault.Error.to_string errs in
+
+  (* 1. faults off: ciphertext is bit-identical for every pool size *)
+  let baseline = render (Dpe.Db_encryptor.encrypt_database enc db) in
+  let wide =
+    with_pool domains (fun p ->
+        render (Dpe.Db_encryptor.encrypt_database ~pool:p enc db))
+  in
+  check "faults-off output bit-identical across pool sizes"
+    (baseline = wide) "ciphertext differs";
+
+  (* 2. csv: malformed/injected rows are reported, the rest load *)
+  let csv_run () =
+    List.map
+      (fun rel ->
+        let t = Minidb.Database.find_exn db rel in
+        match
+          Minidb.Csvio.table_of_string_partial ~rel
+            (Minidb.Csvio.table_to_string t)
+        with
+        | Error e -> (rel, Minidb.Table.cardinality t, 0, [ e ])
+        | Ok (good, errs) ->
+          (rel, Minidb.Table.cardinality t, Minidb.Table.cardinality good,
+           errs))
+      (Minidb.Database.relations db)
+  in
+  let csv_a = staged "minidb.csvio.row=every:5" csv_run in
+  let csv_b = staged "minidb.csvio.row=every:5" csv_run in
+  List.iter
+    (fun (rel, total, good, errs) ->
+      keep errs;
+      check (Printf.sprintf "csv %s: rows in = rows out + errors" rel)
+        (total = good + List.length errs)
+        (Printf.sprintf "%d vs %d + %d" total good (List.length errs)))
+    csv_a;
+  check "csv: injected faults surfaced"
+    (List.exists (fun (_, _, _, e) -> e <> []) csv_a) "no errors reported";
+  check "csv: identical report on rerun"
+    (List.map (fun (_, _, _, e) -> report_of e) csv_a
+     = List.map (fun (_, _, _, e) -> report_of e) csv_b)
+    "reports differ";
+
+  (* 3. encrypt: partial results, reproducible report, pool-independent *)
+  let enc_run ?pool ?retries () =
+    let cipher, errs = Dpe.Db_encryptor.encrypt_database_r ?pool ?retries enc db in
+    (Minidb.Database.total_rows cipher, errs)
+  in
+  let enc_spec = "dpe.db_encryptor.row=every:7" in
+  let out_a, errs_a = staged enc_spec (fun () -> enc_run ()) in
+  let _, errs_b = staged enc_spec (fun () -> enc_run ()) in
+  let _, errs_c =
+    staged enc_spec (fun () -> with_pool domains (fun p -> enc_run ~pool:p ()))
+  in
+  keep errs_a;
+  check "encrypt: no row silently missing"
+    (Minidb.Database.total_rows db = out_a + List.length errs_a)
+    (Printf.sprintf "%d vs %d + %d" (Minidb.Database.total_rows db) out_a
+       (List.length errs_a));
+  check "encrypt: injected faults surfaced" (errs_a <> []) "no errors";
+  check "encrypt: identical report on rerun"
+    (report_of errs_a = report_of errs_b) "reports differ";
+  check "encrypt: identical report across pool sizes"
+    (report_of errs_a = report_of errs_c) "reports differ";
+
+  (* 4. retry: the row point is transient (attempt 0), so retries recover *)
+  let retried_before =
+    Obs.Metric.value (Obs.Registry.counter "kitdpe.fault.retried")
+  in
+  let out_r, errs_r = staged enc_spec (fun () -> enc_run ~retries:2 ()) in
+  let retried_after =
+    Obs.Metric.value (Obs.Registry.counter "kitdpe.fault.retried")
+  in
+  check "retry: bounded retry recovers all injected rows"
+    (errs_r = [] && out_r = Minidb.Database.total_rows db)
+    (Printf.sprintf "%d errors, %d rows" (List.length errs_r) out_r);
+  check "retry: retries accounted" (retried_after > retried_before)
+    "kitdpe.fault.retried did not move";
+
+  (* 5. distance matrix: row failures reported, healthy rows computed *)
+  let qs = Array.of_list log in
+  let dist i j = M.compute M.default_ctx M.Token qs.(i) qs.(j) in
+  let dm_run () =
+    match Mining.Dist_matrix.of_fun_r (Array.length qs) dist with
+    | Ok _ -> []
+    | Error errs -> errs
+  in
+  let dm_a = staged "mining.dist_matrix.eval=every:3" dm_run in
+  let dm_b = staged "mining.dist_matrix.eval=every:3" dm_run in
+  keep dm_a;
+  check "dist_matrix: injected faults surfaced" (dm_a <> []) "no errors";
+  check "dist_matrix: identical report on rerun"
+    (report_of dm_a = report_of dm_b) "reports differ";
+  check "dist_matrix: clean once disarmed" (dm_run () = []) "errors remain";
+
+  (* 6. pool: the armed task crashes, the batch still completes *)
+  let pool_run () =
+    with_pool domains (fun p ->
+        let ran = Atomic.make 0 in
+        let errs =
+          Parallel.Pool.run_tasks_r p
+            (List.init 8 (fun _ () -> Atomic.incr ran))
+        in
+        (Atomic.get ran, errs))
+  in
+  let ran, pool_errs = staged "parallel.pool.task=nth:3" pool_run in
+  keep (List.map snd pool_errs);
+  check "pool: batch completes around the crashed task"
+    (ran = 7 && List.map fst pool_errs = [ 3 ])
+    (Printf.sprintf "%d ran, %d errors" ran (List.length pool_errs));
+
+  (* 7. a crypto-layer point, exercised directly *)
+  let ope_err =
+    staged "crypto.ope.encrypt=always" (fun () ->
+        let k =
+          Crypto.Ope.create ~master:"chaos" ~purpose:"chaos"
+            Crypto.Ope.default_params
+        in
+        Fault.protect ~context:"chaos.ope" (fun () -> Crypto.Ope.encrypt k 5))
+  in
+  (match ope_err with
+   | Error e -> keep [ e ]
+   | Ok _ -> ());
+  check "ope: armed point surfaces as typed error"
+    (match ope_err with Error (Fault.Error.Injected _) -> true | _ -> false)
+    "no injected error";
+
+  (* coverage: every armed point traced through some typed error *)
+  let surfaced =
+    List.sort_uniq String.compare
+      (List.concat_map Fault.Error.injected_points !collected)
+  in
+  List.iter
+    (fun p ->
+      check (Printf.sprintf "coverage: %s surfaced" p)
+        (List.mem p surfaced) "never seen in an error report")
+    [ "minidb.csvio.row"; "dpe.db_encryptor.row"; "mining.dist_matrix.eval";
+      "parallel.pool.task"; "crypto.ope.encrypt" ];
+
+  (* 8. disarming restores the baseline bit-for-bit *)
+  check "disarmed: registry empty" (not (Fault.enabled ())) "still armed";
+  check "disarmed: output equals baseline"
+    (render (Dpe.Db_encryptor.encrypt_database enc db) = baseline)
+    "ciphertext differs from baseline";
+
+  note "# counters: injected=%d caught=%d retried=%d"
+    (Obs.Metric.value (Obs.Registry.counter "kitdpe.fault.injected"))
+    (Obs.Metric.value (Obs.Registry.counter "kitdpe.fault.caught"))
+    (Obs.Metric.value (Obs.Registry.counter "kitdpe.fault.retried"));
+  note "# %s" (if !failures = 0 then "all invariants hold" else "INVARIANT FAILURES");
+
+  let report = Buffer.contents buf in
+  print_string report;
+  (match report_path with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     output_string oc report;
+     close_out oc);
+  if !failures > 0 then exit 1
+
+let chaos_cmd =
+  let domains =
+    Arg.(value & opt int 3 & info [ "domains" ] ~doc:"Pool lanes for the parallel stages.")
+  in
+  let report =
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE"
+           ~doc:"Also write the invariant report to $(docv).")
+  in
+  let rows =
+    Arg.(value & opt int 60 & info [ "rows" ] ~doc:"Rows for the chaos database.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run a seeded fault-injection schedule and check the \
+             robustness invariants (deterministic reports, partial \
+             results, retry recovery, bit-identical disarmed output).")
+    Term.(const chaos $ seed_arg $ rows $ domains $ report)
+
 let main =
   let doc = "distance-preserving encryption for SQL query logs (KIT-DPE)" in
   Cmd.group
     (Cmd.info "dpe_cli" ~version:"1.0.0" ~doc)
     [ generate_cmd; profile_cmd; select_cmd; encrypt_cmd; decrypt_cmd;
       verify_cmd; mine_cmd; attack_cmd; cryptdb_cmd; table1_cmd;
-      normalize_cmd; export_db_cmd; rules_cmd; sessions_cmd; stats_cmd ]
+      normalize_cmd; export_db_cmd; rules_cmd; sessions_cmd; stats_cmd;
+      chaos_cmd ]
 
 let () = exit (Cmd.eval main)

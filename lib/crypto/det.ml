@@ -12,6 +12,8 @@ let key_of_master ~master ~purpose =
 let siv_of k msg = String.sub (Hmac.hmac_sha256 ~key:k.siv msg) 0 16
 
 let encrypt k msg =
+  if Fault.enabled () then
+    Fault.point ~key:(Hashtbl.hash msg) "crypto.det.encrypt";
   let t0 = Obs.time_start () in
   let iv = siv_of k msg in
   let ct = iv ^ Block_modes.ctr_transform k.enc ~iv msg in

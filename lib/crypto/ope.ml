@@ -102,6 +102,9 @@ let encode_int v =
    incremented counter (n < 2^56, so a single round rejects with
    probability < 2^-6; the expected number of HMACs is < 1.02). *)
 let draw key tag a b n =
+  (* keyed by the node's low plaintext so a chaos trigger hits the same
+     tree nodes on every run *)
+  Fault.point ~key:a "crypto.ope.draw";
   let limit = max_int - (max_int mod n) in
   let rec go ctr =
     let h =
@@ -130,6 +133,9 @@ let leaf_value k m clo chi =
   clo + draw k.prf "leaf" m m (chi - clo + 1)
 
 let encrypt_uncached k m =
+  (* before any cache write, so an injected failure never poisons the
+     memo: a later disarmed call recomputes and caches the real value *)
+  Fault.point ~key:m "crypto.ope.encrypt";
   let rec go plo phi clo chi =
     if plo = phi then leaf_value k plo clo chi
     else begin

@@ -55,6 +55,10 @@ let pow pub b e =
 
 let encrypt pub rng m =
   if N.compare m pub.n >= 0 then invalid_arg "Paillier.encrypt: m >= n";
+  if Fault.enabled () then
+    Fault.point
+      ~key:(match N.to_int_opt m with Some v -> v | None -> 0)
+      "crypto.paillier.encrypt";
   Obs.Metric.incr m_encrypts;
   let r = random_unit pub rng in
   (* g^m = 1 + m*n (mod n^2) for g = n + 1 *)
@@ -69,9 +73,13 @@ let encrypt_int pub rng v = encrypt pub rng (encode_int pub v)
 
 let l_function pub u = N.div (N.sub u N.one) pub.n
 
+let mismatch op reason =
+  raise (Fault.Error.E (Fault.Error.Paillier_mismatch { op; reason }))
+
 let decrypt sk c =
   let pub = sk.pub in
-  if N.compare c pub.n2 >= 0 then invalid_arg "Paillier.decrypt: c >= n^2";
+  if N.compare c pub.n2 >= 0 then
+    mismatch "Paillier.decrypt" "ciphertext >= n^2 (wrong key or corrupt)";
   let u = pow pub c sk.lambda in
   N.mod_mul (l_function pub u) sk.mu pub.n
 
@@ -79,8 +87,19 @@ let decrypt_int sk c =
   let pub = sk.pub in
   let m = decrypt sk c in
   let half = N.shift_right pub.n 1 in
-  if N.compare m half <= 0 then N.to_int m
-  else - (N.to_int (N.sub pub.n m))
+  (* a plaintext outside the native-int range was never produced by
+     [encrypt_int]: the secret key does not match the ciphertext.  An
+     overflow here must surface as the typed error, not as garbage or a
+     bare [Failure]. *)
+  let to_int_checked v =
+    match N.to_int_opt v with
+    | Some i -> i
+    | None ->
+      mismatch "Paillier.decrypt_int"
+        "plaintext exceeds the native int range (wrong key or corrupt)"
+  in
+  if N.compare m half <= 0 then to_int_checked m
+  else - (to_int_checked (N.sub pub.n m))
 
 let add pub c1 c2 = N.mod_mul c1 c2 pub.n2
 

@@ -24,10 +24,15 @@ val encrypt_int : public -> Drbg.t -> int -> Bignum.Bignat.t
 (** Encrypts a (possibly negative) native int, encoded centered mod [n]. *)
 
 val decrypt : secret -> Bignum.Bignat.t -> Bignum.Bignat.t
+(** @raise Fault.Error.E [(Paillier_mismatch _)] when the ciphertext is
+    outside [[0, n²)] — it was not produced under this key. *)
 
 val decrypt_int : secret -> Bignum.Bignat.t -> int
 (** Inverse of {!encrypt_int} plus any homomorphic sums: plaintexts in the
-    upper half of [[0, n)] decode as negative. *)
+    upper half of [[0, n)] decode as negative.
+    @raise Fault.Error.E [(Paillier_mismatch _)] when the decrypted
+    plaintext falls outside the native-int range — decrypting with the
+    wrong key surfaces as this typed error, never as silent garbage. *)
 
 val add : public -> Bignum.Bignat.t -> Bignum.Bignat.t -> Bignum.Bignat.t
 (** Homomorphic addition: ciphertext product mod [n²]. *)

@@ -18,3 +18,12 @@ val matrix :
     work that dominates result-distance mining (see the perf bench).
     Query execution and the Jaccard pass run across [pool] (default
     [Parallel.Pool.global ()]). *)
+
+val matrix_r :
+  ?pool:Parallel.Pool.t -> Minidb.Database.t -> Sqlir.Ast.query list
+  -> (float array array, Fault.Error.t list) result
+(** Crash-contained {!matrix}.  A query whose execution raises is
+    reported as [Task_failed {label = "result.query"; index; cause}]
+    (its row would be meaningless, so no matrix is returned); a Jaccard
+    row failure reports [label = "result.row"].  All healthy work still
+    runs to completion. *)

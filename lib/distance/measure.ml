@@ -50,20 +50,17 @@ let compute ctx measure q1 q2 =
   | Result ->
     (match ctx.db with
      | Some db -> D_result.distance db q1 q2
-     | None -> invalid_arg "Measure.compute: result distance needs a database")
+     | None ->
+       raise
+         (Fault.Error.E
+            (Fault.Error.Invariant
+               { context = "Distance.Measure.compute";
+                 reason = "result distance needs a database" })))
 
-let matrix ?pool ctx measure queries =
-  let t0 = Obs.time_start () in
-  let m =
-    match measure, ctx.db with
-    | Result, Some db -> D_result.matrix ?pool db queries
-    | Result, None ->
-      invalid_arg "Measure.matrix: result distance needs a database"
-    | (Token | Structure | Access | Edit | Clause), _ ->
-      let qs = Array.of_list queries in
-      Parallel.Sym_matrix.build ?pool (Array.length qs) (fun i j ->
-          compute ctx measure qs.(i) qs.(j))
-  in
+let missing_db context =
+  Fault.Error.Invariant { context; reason = "result distance needs a database" }
+
+let record_matrix_span measure queries t0 =
   if t0 > 0 then begin
     let dt = Obs.now_ns () - t0 in
     Obs.Metric.observe m_matrix_ns dt;
@@ -72,5 +69,41 @@ let matrix ?pool ctx measure queries =
         (Printf.sprintf "measure.matrix/%s(n=%d)" (to_string measure)
            (List.length queries))
       ~ts_ns:t0 ~dur_ns:dt ()
-  end;
+  end
+
+let matrix ?pool ctx measure queries =
+  let t0 = Obs.time_start () in
+  let m =
+    match measure, ctx.db with
+    | Result, Some db -> D_result.matrix ?pool db queries
+    | Result, None -> raise (Fault.Error.E (missing_db "Distance.Measure.matrix"))
+    | (Token | Structure | Access | Edit | Clause), _ ->
+      let qs = Array.of_list queries in
+      Parallel.Sym_matrix.build ?pool (Array.length qs) (fun i j ->
+          compute ctx measure qs.(i) qs.(j))
+  in
+  record_matrix_span measure queries t0;
   m
+
+let matrix_r ?pool ctx measure queries =
+  let t0 = Obs.time_start () in
+  let r =
+    match measure, ctx.db with
+    | Result, Some db -> D_result.matrix_r ?pool db queries
+    | Result, None -> Error [ missing_db "Distance.Measure.matrix_r" ]
+    | (Token | Structure | Access | Edit | Clause), _ ->
+      let qs = Array.of_list queries in
+      (match
+         Parallel.Sym_matrix.build_r ?pool (Array.length qs) (fun i j ->
+             compute ctx measure qs.(i) qs.(j))
+       with
+       | Ok m -> Ok m
+       | Error errs ->
+         Error
+           (List.map
+              (fun (i, cause) ->
+                Fault.Error.Task_failed { label = "measure.row"; index = i; cause })
+              errs))
+  in
+  record_matrix_span measure queries t0;
+  r

@@ -40,7 +40,8 @@ val needs_domains : t -> bool
 (** Table I column "Shared information: Domains". *)
 
 val compute : ctx -> t -> Sqlir.Ast.query -> Sqlir.Ast.query -> float
-(** @raise Invalid_argument if {!Result} is requested without a database. *)
+(** @raise Fault.Error.E [(Invariant _)] if {!Result} is requested
+    without a database. *)
 
 val matrix :
   ?pool:Parallel.Pool.t -> ctx -> t -> Sqlir.Ast.query list
@@ -49,4 +50,14 @@ val matrix :
     {!compute} per pair: the result measure evaluates each query once.
     Large matrices are filled across [pool] (default
     [Parallel.Pool.global ()]); all measures are pure, so the result is
-    identical for every pool size. *)
+    identical for every pool size.
+    @raise Fault.Error.E [(Invariant _)] if {!Result} is requested
+    without a database. *)
+
+val matrix_r :
+  ?pool:Parallel.Pool.t -> ctx -> t -> Sqlir.Ast.query list
+  -> (float array array, Fault.Error.t list) result
+(** Crash-contained {!matrix}: row failures (including injected faults)
+    are collected as typed [Task_failed] errors instead of raised, and
+    every healthy row still computes; a missing database for {!Result}
+    returns [Error [Invariant _]]. *)

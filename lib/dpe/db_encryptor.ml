@@ -42,8 +42,15 @@ let encrypt_schema enc (s : Schema.t) =
    ciphertext table depends only on the master key and the plaintext —
    not on the pool size, the chunk shape or the encryption order.  Key
    resolution (the only mutation of encryptor state) happens sequentially
-   in [column_encoder] before any domain starts. *)
-let encrypt_table ?pool enc table =
+   in [column_encoder] before any domain starts.
+
+   Containment contract: a row whose encryption raises is retried up to
+   [retries] times with a fresh DRBG derived from the attempt number
+   (still a pure function of the master key and (rel, i, attempt), so
+   retried output is deterministic too); a row that exhausts its
+   attempts becomes a [Row_failed] report and is dropped from the
+   table — the batch never hangs and never silently loses a row. *)
+let encrypt_table_r ?pool ?(retries = 0) enc table =
   let pool = match pool with Some p -> p | None -> Parallel.Pool.global () in
   let plain_schema = Table.schema table in
   let names = Schema.column_names plain_schema in
@@ -55,15 +62,40 @@ let encrypt_table ?pool enc table =
   let rows = Array.of_list (Table.rows table) in
   let t0 = Obs.time_start () in
   let encrypt_row i row =
-    let rng = Encryptor.row_rng enc ~rel i in
-    Array.mapi (fun c v -> encoders.(c) ~rng v) row
+    let rec attempt k =
+      match
+        (* the row injection point fires on the first attempt only, so a
+           bounded retry demonstrably recovers from transient faults;
+           faults injected deeper (keyed on plaintext) recur on every
+           attempt and exhaust the budget, as a persistent fault should *)
+        if k = 0 then Fault.point ~key:i "dpe.db_encryptor.row";
+        let rng = Encryptor.row_rng ~attempt:k enc ~rel i in
+        Array.mapi (fun c v -> encoders.(c) ~rng v) row
+      with
+      | cipher -> Ok cipher
+      | exception e ->
+        let cause = Fault.Error.of_exn ~context:"Dpe.Db_encryptor.encrypt_row" e in
+        if k < retries then begin
+          Fault.count_retry ();
+          attempt (k + 1)
+        end
+        else Error (Fault.Error.Row_failed { rel; row = i; attempts = k + 1; cause })
+    in
+    attempt 0
   in
-  let cipher_rows = Parallel.Pool.mapi_array pool encrypt_row rows in
+  let results = Parallel.Pool.mapi_array pool encrypt_row rows in
+  let cipher_rows = ref [] and errors = ref [] in
+  for i = Array.length results - 1 downto 0 do
+    match results.(i) with
+    | Ok row -> cipher_rows := row :: !cipher_rows
+    | Error e -> errors := e :: !errors
+  done;
+  let cipher_rows = !cipher_rows and errors = !errors in
   if t0 > 0 then begin
     (* bulk accounting after the parallel map: rows and cells overall,
        plus cells broken down by the constant class that encrypted them
        ("which scheme did the work?") *)
-    let nrows = Array.length rows in
+    let nrows = List.length cipher_rows in
     Obs.Metric.add m_rows nrows;
     Obs.Metric.add m_cells (nrows * List.length names);
     List.iter
@@ -80,12 +112,29 @@ let encrypt_table ?pool enc table =
       ~name:(Printf.sprintf "encrypt_table/%s(rows=%d)" rel (Array.length rows))
       ~ts_ns:t0 ~dur_ns:dt ()
   end;
-  Table.of_rows cipher_schema (Array.to_list cipher_rows)
+  (Table.of_rows cipher_schema cipher_rows, errors)
+
+(* legacy all-or-nothing surface: the first row failure aborts with the
+   typed exception *)
+let encrypt_table ?pool enc table =
+  match encrypt_table_r ?pool enc table with
+  | cipher, [] -> cipher
+  | _, e :: _ -> raise (Fault.Error.E e)
+
+let encrypt_database_r ?pool ?retries enc db =
+  let db, errors =
+    List.fold_left
+      (fun (acc, errs) table ->
+        let cipher, table_errs = encrypt_table_r ?pool ?retries enc table in
+        (Database.add_table acc cipher, List.rev_append table_errs errs))
+      (Database.empty, []) (Database.tables db)
+  in
+  (db, List.rev errors)
 
 let encrypt_database ?pool enc db =
-  List.fold_left
-    (fun acc table -> Database.add_table acc (encrypt_table ?pool enc table))
-    Database.empty (Database.tables db)
+  match encrypt_database_r ?pool enc db with
+  | cipher, [] -> cipher
+  | _, e :: _ -> raise (Fault.Error.E e)
 
 let decrypt_table enc ~plain_schema table =
   let names = Schema.column_names plain_schema in

@@ -18,12 +18,43 @@ val encrypt_table :
     is identical for {e every} pool size, including the sequential
     fallback.  DET and OPE columns are additionally memoized (repeated
     plaintexts cost one lookup; both classes are deterministic, so the
-    memo is invisible in the output). *)
+    memo is invisible in the output).
+    @raise Fault.Error.E with the first row's typed error when any row
+    fails; {!encrypt_table_r} keeps partial results instead. *)
+
+val encrypt_table_r :
+  ?pool:Parallel.Pool.t ->
+  ?retries:int ->
+  Encryptor.t ->
+  Minidb.Table.t ->
+  Minidb.Table.t * Fault.Error.t list
+(** Crash-contained {!encrypt_table}.  A row whose encryption raises is
+    retried up to [retries] times (default 0), each attempt drawing from
+    a fresh DRBG derived from the attempt number
+    ([Encryptor.row_rng ~attempt]) — so retried ciphertext is exactly as
+    deterministic as first-try ciphertext.  Rows that exhaust their
+    attempts are dropped from the result table and reported as
+    [Row_failed {rel; row; attempts; cause}], in row order: the batch
+    always completes with partial results plus the error report, never a
+    hang or a silently missing row.  Carries the
+    ["dpe.db_encryptor.row"] injection point keyed by row index (first
+    attempt only, so injected transients are recoverable). *)
 
 val encrypt_database :
   ?pool:Parallel.Pool.t -> Encryptor.t -> Minidb.Database.t -> Minidb.Database.t
-(** @raise Encryptor.Encrypt_error when a value cannot be represented in
-    its column's class (e.g. a string in an OPE column). *)
+(** @raise Fault.Error.E when a value cannot be represented in its
+    column's class (e.g. a string in an OPE column); the payload is the
+    first failing row's [Row_failed] (its [cause] holds the
+    [Crypto_failure] / [Ope_range_exhausted] detail). *)
+
+val encrypt_database_r :
+  ?pool:Parallel.Pool.t ->
+  ?retries:int ->
+  Encryptor.t ->
+  Minidb.Database.t ->
+  Minidb.Database.t * Fault.Error.t list
+(** {!encrypt_table_r} over every table; errors concatenated in table
+    order. *)
 
 val decrypt_table : Encryptor.t -> plain_schema:Minidb.Schema.t
   -> Minidb.Table.t -> (Minidb.Table.t, string) result

@@ -5,6 +5,14 @@ exception Encrypt_error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Encrypt_error s)) fmt
 
+(* caught [Encrypt_error]s surface through the typed channel as crypto
+   failures instead of an opaque [Unexpected] *)
+let () =
+  Fault.Error.register_exn_translator (function
+    | Encrypt_error reason ->
+      Some (Fault.Error.Crypto_failure { op = "dpe.encryptor"; reason })
+    | _ -> None)
+
 (* OPE domain: signed 32-bit integers, shifted into [0, 2^32) *)
 let ope_params = { Crypto.Ope.plain_bits = 32; cipher_bits = 48 }
 let ope_offset = 1 lsl 31
@@ -137,7 +145,9 @@ let prob_const t ~purpose c =
 
 let ope_int key n =
   if n < -ope_offset || n >= ope_offset then
-    err "OPE domain exceeded by constant %d" n;
+    raise
+      (Fault.Error.E
+         (Fault.Error.Ope_range_exhausted { op = "Dpe.Encryptor.ope_int"; value = n }));
   Crypto.Ope.encrypt key (n + ope_offset)
 
 let ope_const key = function
@@ -332,8 +342,15 @@ let value_class t ~attr =
   | Scheme.Global cls -> cls
   | Scheme.Per_attribute _ -> Scheme.class_for_attr t.scheme attr
 
-let row_rng t ~rel i =
-  Crypto.Keyring.drbg t.keyring (Printf.sprintf "row/%s/%d" rel i)
+let row_rng ?(attempt = 0) t ~rel i =
+  (* attempt 0 keeps the historical purpose string, so faults-off bulk
+     ciphertexts stay bit-identical; a retry re-derives fresh (but still
+     deterministic) randomness from the attempt number *)
+  let purpose =
+    if attempt = 0 then Printf.sprintf "row/%s/%d" rel i
+    else Printf.sprintf "row/%s/%d/retry/%d" rel i attempt
+  in
+  Crypto.Keyring.drbg t.keyring purpose
 
 let column_encoder t ~attr =
   let nonnull f ~rng v = if Value.is_null v then v else f ~rng v in

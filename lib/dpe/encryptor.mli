@@ -54,11 +54,15 @@ val decrypt_value : t -> attr:string -> Minidb.Value.t -> (Minidb.Value.t, strin
     so the bulk path derives an independent generator per row and bakes
     each column's key material into a domain-safe closure. *)
 
-val row_rng : t -> rel:string -> int -> Crypto.Drbg.t
+val row_rng : ?attempt:int -> t -> rel:string -> int -> Crypto.Drbg.t
 (** [row_rng t ~rel i] is the DRBG for row [i] of relation [rel], derived
     from the keyring master alone — independent of encryption order, chunk
     shape and pool size, which is what makes bulk encryption deterministic
-    for a fixed master key (see DESIGN.md, "Parallel architecture"). *)
+    for a fixed master key (see DESIGN.md, "Parallel architecture").
+    [attempt] (default 0 — the historical derivation) enters the purpose
+    string for [attempt > 0], so a retried row draws fresh randomness
+    that is still a pure function of (master key, rel, i, attempt):
+    retried output stays deterministic (DESIGN.md §9). *)
 
 val column_encoder :
   t -> attr:string -> rng:Crypto.Drbg.t -> Minidb.Value.t -> Minidb.Value.t

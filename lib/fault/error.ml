@@ -1,0 +1,90 @@
+(* The typed error channel shared by every pipeline layer.
+
+   One closed variant per failure class keeps the surface uniform:
+   pipeline entry points return [('a, Error.t) result] (or
+   ['a * Error.t list] for partial results) instead of raising
+   stringly-typed [Failure]s.  Nested causes ([Row_failed],
+   [Task_failed]) preserve the originating error so a chaos run can
+   trace an armed injection point all the way to the report
+   ({!injected_points}). *)
+
+type t =
+  | Injected of { point : string; key : int }
+  | Crypto_failure of { op : string; reason : string }
+  | Ope_range_exhausted of { op : string; value : int }
+  | Paillier_mismatch of { op : string; reason : string }
+  | Csv_malformed of { line : int; reason : string }
+  | Row_failed of { rel : string; row : int; attempts : int; cause : t }
+  | Task_failed of { label : string; index : int; cause : t }
+  | Pool_lane_crash of { lane : int; reason : string }
+  | Io_failure of { path : string; reason : string }
+  | Invariant of { context : string; reason : string }
+  | Unexpected of { context : string; exn : string }
+
+exception E of t
+
+let rec to_string = function
+  | Injected { point; key } ->
+    Printf.sprintf "injected fault at %s (key %d)" point key
+  | Crypto_failure { op; reason } ->
+    Printf.sprintf "crypto failure in %s: %s" op reason
+  | Ope_range_exhausted { op; value } ->
+    Printf.sprintf "OPE range exhausted in %s (plaintext %d)" op value
+  | Paillier_mismatch { op; reason } ->
+    Printf.sprintf "Paillier mismatch in %s: %s" op reason
+  | Csv_malformed { line; reason } ->
+    Printf.sprintf "malformed CSV at line %d: %s" line reason
+  | Row_failed { rel; row; attempts; cause } ->
+    Printf.sprintf "row %d of %s failed after %d attempt(s): %s" row rel
+      attempts (to_string cause)
+  | Task_failed { label; index; cause } ->
+    Printf.sprintf "task %s[%d] failed: %s" label index (to_string cause)
+  | Pool_lane_crash { lane; reason } ->
+    Printf.sprintf "pool lane %d crashed: %s" lane reason
+  | Io_failure { path; reason } ->
+    Printf.sprintf "I/O failure on %s: %s" path reason
+  | Invariant { context; reason } ->
+    Printf.sprintf "invariant violated in %s: %s" context reason
+  | Unexpected { context; exn } ->
+    Printf.sprintf "unexpected exception in %s: %s" context exn
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | E e -> Some ("Fault.Error.E: " ^ to_string e)
+    | _ -> None)
+
+let rec injected_points = function
+  | Injected { point; _ } -> [ point ]
+  | Row_failed { cause; _ } | Task_failed { cause; _ } -> injected_points cause
+  | Crypto_failure _ | Ope_range_exhausted _ | Paillier_mismatch _
+  | Csv_malformed _ | Pool_lane_crash _ | Io_failure _ | Invariant _
+  | Unexpected _ -> []
+
+(* layers register translators for their own exception constructors so
+   [of_exn] can map e.g. [Encrypt_error] to [Crypto_failure] without
+   this module depending on them.  Registration happens once at module
+   initialization; the CAS loop makes it safe anyway. *)
+let translators : (exn -> t option) list Atomic.t = Atomic.make []
+
+let register_exn_translator f =
+  let rec go () =
+    let cur = Atomic.get translators in
+    if not (Atomic.compare_and_set translators cur (f :: cur)) then go ()
+  in
+  go ()
+
+let m_caught = Obs.Registry.counter "kitdpe.fault.caught"
+
+let of_exn ~context exn =
+  Obs.Metric.incr m_caught;
+  match exn with
+  | E e -> e
+  | exn ->
+    let rec translate = function
+      | [] -> Unexpected { context; exn = Printexc.to_string exn }
+      | f :: rest ->
+        (match f exn with Some t -> t | None -> translate rest)
+    in
+    translate (Atomic.get translators)

@@ -1,0 +1,49 @@
+(** The typed error channel: one variant per pipeline failure class.
+
+    Pipeline entry points expose [('a, t) result] (or ['a * t list]
+    when partial results are meaningful) instead of raising.  Nested
+    causes in {!Row_failed} / {!Task_failed} preserve the originating
+    error, so injected faults remain traceable end to end. *)
+
+type t =
+  | Injected of { point : string; key : int }
+      (** Raised by an armed {!Fault.point}; [key] is the deterministic
+          call-site key the trigger resolved on. *)
+  | Crypto_failure of { op : string; reason : string }
+  | Ope_range_exhausted of { op : string; value : int }
+  | Paillier_mismatch of { op : string; reason : string }
+  | Csv_malformed of { line : int; reason : string }
+      (** [line] is the 1-based physical line of the offending row. *)
+  | Row_failed of { rel : string; row : int; attempts : int; cause : t }
+      (** A database row that still failed after [attempts] tries. *)
+  | Task_failed of { label : string; index : int; cause : t }
+  | Pool_lane_crash of { lane : int; reason : string }
+  | Io_failure of { path : string; reason : string }
+  | Invariant of { context : string; reason : string }
+  | Unexpected of { context : string; exn : string }
+
+exception E of t
+(** The one exception the migrated layers raise when a [result] surface
+    is not available (e.g. legacy wrappers).  Registered with
+    [Printexc] so uncaught instances print the typed payload. *)
+
+val to_string : t -> string
+(** Deterministic rendering (no addresses, no timestamps) — chaos runs
+    compare whole reports for bit-equality. *)
+
+val pp : Format.formatter -> t -> unit
+
+val injected_points : t -> string list
+(** The injection-point names reachable through the error's [cause]
+    chain; used by [dpe_cli chaos] to check every armed fault
+    surfaced. *)
+
+val register_exn_translator : (exn -> t option) -> unit
+(** Layers register a mapping for their own exception constructors
+    (e.g. [Encrypt_error msg -> Some (Crypto_failure ...)]).  Called
+    once at module initialization. *)
+
+val of_exn : context:string -> exn -> t
+(** Convert a caught exception: [E e] unwraps to [e], registered
+    translators are tried in turn, anything else becomes
+    {!Unexpected}.  Increments [kitdpe.fault.caught]. *)

@@ -45,14 +45,23 @@ let table_to_string table =
     (Table.rows table);
   Buffer.contents buf
 
-(* a small CSV reader: returns rows of (cell, was_quoted) *)
-let parse_csv (input : string) : ((string * bool) list list, string) result =
+(* a small CSV reader with per-row recovery: a malformed row is
+   reported with the physical line it starts on and the parser resyncs
+   at the next newline (scanned literally), so one bad row never costs
+   the rest of the file.  Rows are (cell, was_quoted) lists; physical
+   lines are 1-based and newlines inside quoted fields count. *)
+type raw_row = { line : int; cells : (string * bool) list }
+
+let parse_rows (input : string) : raw_row list * (int * string) list =
   let n = String.length input in
-  let rows = ref [] and fields = ref [] in
+  let rows = ref [] and errors = ref [] in
+  let fields = ref [] in
   let buf = Buffer.create 32 in
   let quoted = ref false in
   let had_quote = ref false in
-  let error = ref None in
+  let discard = ref false in
+  let line = ref 1 in
+  let row_start = ref 1 in
   let flush_field () =
     fields := (Buffer.contents buf, !had_quote) :: !fields;
     Buffer.clear buf;
@@ -60,13 +69,29 @@ let parse_csv (input : string) : ((string * bool) list list, string) result =
   in
   let flush_row () =
     flush_field ();
-    rows := List.rev !fields :: !rows;
-    fields := []
+    rows := { line = !row_start; cells = List.rev !fields } :: !rows;
+    fields := [];
+    row_start := !line
+  in
+  let fail reason =
+    errors := (!row_start, reason) :: !errors;
+    Buffer.clear buf;
+    fields := [];
+    had_quote := false;
+    quoted := false;
+    discard := true
   in
   let i = ref 0 in
-  while !i < n && !error = None do
+  while !i < n do
     let c = input.[!i] in
-    if !quoted then begin
+    if c = '\n' then incr line;
+    if !discard then begin
+      if c = '\n' then begin
+        discard := false;
+        row_start := !line
+      end
+    end
+    else if !quoted then begin
       if c = '"' then
         if !i + 1 < n && input.[!i + 1] = '"' then begin
           Buffer.add_char buf '"';
@@ -78,7 +103,7 @@ let parse_csv (input : string) : ((string * bool) list list, string) result =
     else begin
       match c with
       | '"' ->
-        if Buffer.length buf > 0 then error := Some "quote inside unquoted field"
+        if Buffer.length buf > 0 then fail "quote inside unquoted field"
         else begin
           quoted := true;
           had_quote := true
@@ -90,14 +115,10 @@ let parse_csv (input : string) : ((string * bool) list list, string) result =
     end;
     incr i
   done;
-  match !error with
-  | Some e -> Error e
-  | None ->
-    if !quoted then Error "unterminated quoted field"
-    else begin
-      if Buffer.length buf > 0 || !fields <> [] then flush_row ();
-      Ok (List.rev !rows)
-    end
+  if !discard then ()
+  else if !quoted then errors := (!row_start, "unterminated quoted field") :: !errors
+  else if Buffer.length buf > 0 || !fields <> [] then flush_row ();
+  (List.rev !rows, List.rev !errors)
 
 let value_of_cell (ty : Value.ty) (cell, was_quoted) =
   if (not was_quoted) && cell = "NULL" then Ok Value.Vnull
@@ -113,63 +134,87 @@ let value_of_cell (ty : Value.ty) (cell, was_quoted) =
        | Some f -> Ok (Value.Vfloat f)
        | None -> Error (Printf.sprintf "not a float: %S" cell))
 
-let table_of_string ~rel input =
-  match parse_csv input with
-  | Error e -> Error ("csv: " ^ e)
-  | Ok [] -> Error "csv: missing header"
-  | Ok (header :: body) ->
-    let parse_col (cell, _) =
-      match String.rindex_opt cell ':' with
-      | None -> Error (Printf.sprintf "header cell %S lacks a type" cell)
-      | Some i ->
-        let name = String.sub cell 0 i in
-        let ty_str = String.sub cell (i + 1) (String.length cell - i - 1) in
-        (match ty_of_string ty_str with
-         | Some ty -> Ok (name, ty)
-         | None -> Error (Printf.sprintf "unknown type %S" ty_str))
-    in
-    let rec collect acc = function
-      | [] -> Ok (List.rev acc)
-      | c :: rest ->
-        (match parse_col c with
-         | Ok col -> collect (col :: acc) rest
+let parse_col (cell, _) =
+  match String.rindex_opt cell ':' with
+  | None -> Error (Printf.sprintf "header cell %S lacks a type" cell)
+  | Some i ->
+    let name = String.sub cell 0 i in
+    let ty_str = String.sub cell (i + 1) (String.length cell - i - 1) in
+    (match ty_of_string ty_str with
+     | Some ty -> Ok (name, ty)
+     | None -> Error (Printf.sprintf "unknown type %S" ty_str))
+
+let parse_header cells =
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest ->
+      (match parse_col c with
+       | Ok col -> collect (col :: acc) rest
+       | Error e -> Error e)
+  in
+  collect [] cells
+
+let parse_row types cells =
+  if List.length cells <> List.length types then
+    Error
+      (Printf.sprintf "row arity %d, expected %d" (List.length cells)
+         (List.length types))
+  else begin
+    let rec go acc ts cs =
+      match ts, cs with
+      | [], [] -> Ok (Array.of_list (List.rev acc))
+      | t :: ts, c :: cs ->
+        (match value_of_cell t c with
+         | Ok v -> go (v :: acc) ts cs
          | Error e -> Error e)
+      | _ -> assert false
     in
-    (match collect [] header with
-     | Error e -> Error e
+    go [] types cells
+  end
+
+let table_of_string_partial ~rel input =
+  let malformed line reason = Fault.Error.Csv_malformed { line; reason } in
+  let rows, parse_errors = parse_rows input in
+  match rows with
+  | [] -> Error (malformed 1 "missing header")
+  | header :: body ->
+    (match parse_header header.cells with
+     | Error e -> Error (malformed header.line e)
      | Ok cols ->
        (match Schema.make ~rel cols with
+        | exception Invalid_argument e -> Error (malformed header.line e)
         | schema ->
           let types = List.map snd cols in
-          let parse_row cells =
-            if List.length cells <> List.length types then
-              Error
-                (Printf.sprintf "row arity %d, expected %d" (List.length cells)
-                   (List.length types))
-            else begin
-              let rec go acc ts cs =
-                match ts, cs with
-                | [], [] -> Ok (Array.of_list (List.rev acc))
-                | t :: ts, c :: cs ->
-                  (match value_of_cell t c with
-                   | Ok v -> go (v :: acc) ts cs
-                   | Error e -> Error e)
-                | _ -> assert false
-              in
-              go [] types cells
-            end
+          let errors =
+            ref (List.map (fun (l, r) -> (l, malformed l r)) parse_errors)
           in
-          let rec rows acc = function
-            | [] -> Ok (List.rev acc)
-            | r :: rest ->
-              (match parse_row r with
-               | Ok row -> rows (row :: acc) rest
-               | Error e -> Error e)
+          let good = ref [] in
+          List.iter
+            (fun { line; cells } ->
+              match
+                Fault.point ~key:line "minidb.csvio.row";
+                parse_row types cells
+              with
+              | Ok row -> good := row :: !good
+              | Error reason -> errors := (line, malformed line reason) :: !errors
+              | exception e ->
+                errors :=
+                  (line, Fault.Error.of_exn ~context:"Minidb.Csvio.table_of_string_partial" e)
+                  :: !errors)
+            body;
+          let errors =
+            List.sort (fun (a, _) (b, _) -> Int.compare a b) !errors
+            |> List.map snd
           in
-          (match rows [] body with
-           | Ok rs -> Ok (Table.of_rows schema rs)
-           | Error e -> Error e)
-        | exception Invalid_argument e -> Error e))
+          Ok (Table.of_rows schema (List.rev !good), errors)))
+
+(* strict variant: any malformed row (or injected row fault) fails the
+   whole parse with the first error, in file order *)
+let table_of_string ~rel input =
+  match table_of_string_partial ~rel input with
+  | Error e -> Error (Fault.Error.to_string e)
+  | Ok (table, []) -> Ok table
+  | Ok (_, e :: _) -> Error (Fault.Error.to_string e)
 
 let write_file path content =
   match open_out path with
@@ -194,6 +239,11 @@ let read_table ~rel path =
   match read_file path with
   | Error e -> Error e
   | Ok content -> table_of_string ~rel content
+
+let read_table_partial ~rel path =
+  match read_file path with
+  | Error reason -> Error (Fault.Error.Io_failure { path; reason })
+  | Ok content -> table_of_string_partial ~rel content
 
 let write_database ~dir db =
   (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 with

@@ -9,12 +9,30 @@
 val table_to_string : Table.t -> string
 
 val table_of_string : rel:string -> string -> (Table.t, string) result
-(** Parse one table. The relation name is external to the format. *)
+(** Parse one table.  The relation name is external to the format.
+    Strict: the first malformed row fails the parse (the message is the
+    rendering of the corresponding {!table_of_string_partial} error). *)
+
+val table_of_string_partial :
+  rel:string -> string -> (Table.t * Fault.Error.t list, Fault.Error.t) result
+(** Fault-tolerant parse: a malformed row is reported as
+    [Csv_malformed {line; reason}] ([line] = 1-based physical line the
+    row starts on; newlines inside quoted fields count) and the parser
+    resyncs at the next newline, so every well-formed row is still
+    loaded.  [Ok (table, errors)] returns the good rows in file order
+    plus the per-row errors sorted by line ([[]] = clean file); a bad
+    header or schema is fatal and returns [Error].  Carries the
+    ["minidb.csvio.row"] injection point keyed by line. *)
 
 val write_table : string -> Table.t -> (unit, string) result
 (** [write_table path table] writes one CSV file. *)
 
 val read_table : rel:string -> string -> (Table.t, string) result
+
+val read_table_partial :
+  rel:string -> string -> (Table.t * Fault.Error.t list, Fault.Error.t) result
+(** {!table_of_string_partial} over a file; unreadable files surface as
+    [Io_failure]. *)
 
 val write_database : dir:string -> Database.t -> (string list, string) result
 (** One [<relation>.csv] per table inside [dir] (created if missing);

@@ -30,6 +30,27 @@ let of_fun_seq n d = of_fun_instrumented Parallel.Sym_matrix.build_seq n d
 let of_fun ?pool n d =
   of_fun_instrumented (Parallel.Sym_matrix.build ?pool) n d
 
+(* cells are identified by (i, j) with j < 2^20 — plenty for any matrix
+   this repository builds — giving each evaluation a stable injection
+   key independent of row scheduling *)
+let eval_key i j = (i lsl 20) lor j
+
+let of_fun_r ?pool n d =
+  let d =
+    if Fault.enabled () then (fun i j ->
+      Fault.point ~key:(eval_key i j) "mining.dist_matrix.eval";
+      d i j)
+    else d
+  in
+  match of_fun_instrumented (Parallel.Sym_matrix.build_r ?pool) n d with
+  | Ok m -> Ok m
+  | Error errs ->
+    Error
+      (List.map
+         (fun (i, cause) ->
+           Fault.Error.Task_failed { label = "dist_matrix.row"; index = i; cause })
+         errs)
+
 let size (m : t) = Array.length m
 let get (m : t) i j = m.(i).(j)
 
@@ -56,7 +77,11 @@ let validate m =
 
 let max_abs_diff a b =
   let n = size a in
-  if size b <> n then invalid_arg "Dist_matrix.max_abs_diff: size mismatch";
+  if size b <> n then
+    raise
+      (Fault.Error.E
+         (Fault.Error.Invariant
+            { context = "Mining.Dist_matrix.max_abs_diff"; reason = "size mismatch" }));
   let worst = ref 0.0 in
   for i = 0 to n - 1 do
     let ra = a.(i) and rb = b.(i) in

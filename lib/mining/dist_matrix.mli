@@ -15,6 +15,17 @@ val of_fun_seq : int -> (int -> int -> float) -> t
 (** Sequential reference implementation of {!of_fun} (what [of_fun]
     degrades to on a 1-lane pool or small [n]). *)
 
+val of_fun_r :
+  ?pool:Parallel.Pool.t ->
+  int ->
+  (int -> int -> float) ->
+  (t, Fault.Error.t list) result
+(** Crash-contained {!of_fun}: a row whose evaluations raise is reported
+    as [Task_failed {label = "dist_matrix.row"; index; cause}] while all
+    other rows still compute; [Ok] only when the matrix is complete.
+    Carries the ["mining.dist_matrix.eval"] injection point keyed by
+    cell coordinates. *)
+
 val size : t -> int
 val get : t -> int -> int -> float
 
@@ -25,4 +36,5 @@ val validate : t -> (unit, string) result
 val max_abs_diff : t -> t -> float
 (** Largest entrywise deviation between two matrices of the same size.
     Both arguments are assumed symmetric (as every distance matrix is),
-    so only the upper triangle, diagonal included, is scanned. *)
+    so only the upper triangle, diagonal included, is scanned.
+    @raise Fault.Error.E [(Invariant _)] on a size mismatch. *)

@@ -26,6 +26,14 @@ let lane_counter name lane =
   Obs.Registry.counter
     (Printf.sprintf "kitdpe.parallel.pool.lane%d.%s" lane name)
 
+let m_contained = Obs.Registry.counter "kitdpe.parallel.pool.contained"
+let m_lane_crashes = Obs.Registry.counter "kitdpe.parallel.pool.lane_crashes"
+
+(* not Obs-gated: containment is a correctness property and tests assert
+   on it with telemetry off *)
+let crashes = Atomic.make 0
+let lane_crashes () = Atomic.get crashes
+
 (* tasks are stripe-coarse (a handful per lane per batch), so the
    registry lookup on the enabled path is noise; the disabled path is a
    single atomic load and a direct call *)
@@ -78,6 +86,19 @@ let rec worker_loop t =
     run_job job;
     worker_loop t
 
+(* Lane supervisor: every queued job is wrapped by its batch and cannot
+   raise, but if one ever escapes anyway (async exception, a bug in the
+   instrumentation) the domain must not die silently — the lane is
+   "respawned" by re-entering the loop, so the pool keeps its size and
+   any in-flight batch still completes via the caller lane. *)
+let rec lane_body t =
+  match worker_loop t with
+  | () -> ()
+  | exception _ ->
+    Atomic.incr crashes;
+    Obs.Metric.incr m_lane_crashes;
+    lane_body t
+
 let create ?domains () =
   let lanes = max 1 (match domains with Some d -> d | None -> default_domains ()) in
   let t =
@@ -93,7 +114,7 @@ let create ?domains () =
       List.init (lanes - 1) (fun i ->
           Domain.spawn (fun () ->
               Domain.DLS.set lane_key (i + 1);
-              worker_loop t));
+              lane_body t));
   t
 
 let shutdown t =
@@ -211,3 +232,72 @@ let map_range t n f =
 
 let mapi_array t f a = map_range t (Array.length a) (fun i -> f i a.(i))
 let map_array t f a = mapi_array t (fun _ x -> f x) a
+
+(* ---- crash-contained variants ----
+
+   Same distribution as the plain combinators, but a task that raises is
+   converted to a typed [Fault.Error.t] tied to its index instead of
+   poisoning the batch.  Each task also carries the
+   ["parallel.pool.task"] injection point, keyed by index so a chaos
+   trigger picks the same victims for any pool size. *)
+
+let push_error errors i err =
+  Obs.Metric.incr m_contained;
+  let rec go () =
+    let cur = Atomic.get errors in
+    if not (Atomic.compare_and_set errors cur ((i, err) :: cur)) then go ()
+  in
+  go ()
+
+let by_index (i, _) (j, _) = Int.compare i j
+
+let run_tasks_r t tasks =
+  let errors = Atomic.make [] in
+  let guard i f () =
+    match
+      Fault.point ~key:i "parallel.pool.task";
+      f ()
+    with
+    | () -> ()
+    | exception e ->
+      push_error errors i (Fault.Error.of_exn ~context:"Parallel.Pool.run_tasks_r" e)
+  in
+  run_tasks t (List.mapi guard tasks);
+  List.sort by_index (Atomic.get errors)
+
+let for_range_r t n f =
+  if n <= 0 then []
+  else begin
+    let errors = Atomic.make [] in
+    for_range t n (fun i ->
+        match
+          Fault.point ~key:i "parallel.pool.task";
+          f i
+        with
+        | () -> ()
+        | exception e ->
+          push_error errors i (Fault.Error.of_exn ~context:"Parallel.Pool.for_range_r" e));
+    List.sort by_index (Atomic.get errors)
+  end
+
+let map_range_r t n f =
+  if n <= 0 then [||]
+  else begin
+    let uninit =
+      Error
+        (Fault.Error.Invariant
+           { context = "Parallel.Pool.map_range_r"; reason = "slot never written" })
+    in
+    let res = Array.make n uninit in
+    for_range t n (fun i ->
+        res.(i) <-
+          (match
+             Fault.point ~key:i "parallel.pool.task";
+             f i
+           with
+           | v -> Ok v
+           | exception e ->
+             Obs.Metric.incr m_contained;
+             Error (Fault.Error.of_exn ~context:"Parallel.Pool.map_range_r" e)));
+    res
+  end

@@ -71,3 +71,30 @@ val shutdown : t -> unit
 (** Terminate and join the worker domains.  Call only when no bulk
     operation is in flight; further use of the pool falls back to
     sequential execution.  Idempotent. *)
+
+(** {2 Crash-contained variants}
+
+    Same work distribution as the plain combinators, but a task that
+    raises is converted to a typed [Fault.Error.t] tied to its index
+    instead of poisoning the batch: the batch always runs to
+    completion, good results are kept and the caller receives an
+    explicit per-index error report — never a hang, never a silently
+    missing entry.  Each task carries the ["parallel.pool.task"]
+    injection point keyed by its index, so an armed chaos trigger
+    selects the same victims for every pool size. *)
+
+val run_tasks_r : t -> (unit -> unit) list -> (int * Fault.Error.t) list
+(** Run every thunk; return the contained failures as
+    [(task_index, error)], sorted by index ([[]] = all succeeded). *)
+
+val for_range_r : t -> int -> (int -> unit) -> (int * Fault.Error.t) list
+(** As {!for_range}, returning the indices whose [f i] raised. *)
+
+val map_range_r : t -> int -> (int -> 'a) -> ('a, Fault.Error.t) result array
+(** As {!map_range}, with per-slot results: [Ok (f i)] or the typed
+    error [f i] raised. *)
+
+val lane_crashes : unit -> int
+(** Number of times a worker lane had to be respawned because an
+    exception escaped a task wrapper (0 in healthy runs; not gated on
+    [Obs.enabled]). *)

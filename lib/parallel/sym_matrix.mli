@@ -15,3 +15,14 @@ val build : ?pool:Pool.t -> int -> (int -> int -> float) -> float array array
     than one lane.  [d] must be pure (or at least domain-safe); each cell
     is evaluated exactly once, so the result is bit-for-bit equal to
     [build_seq n d]. *)
+
+val build_r :
+  ?pool:Pool.t ->
+  int ->
+  (int -> int -> float) ->
+  (float array array, (int * Fault.Error.t) list) result
+(** Crash-contained {!build}: a row whose evaluations raise is reported
+    as [(row_index, typed_error)] while every other row is still
+    computed.  [Ok m] when all rows succeed; [Error errs] (sorted by
+    row) otherwise.  Sequentially below {!par_threshold}, with the same
+    containment contract. *)

@@ -1,0 +1,5 @@
+let f x =
+  if x < 0 then failwith "negative"
+  else if x = 0 then
+    invalid_arg "zero"
+  else x

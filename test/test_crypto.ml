@@ -273,6 +273,44 @@ let test_paillier () =
     (Invalid_argument "Paillier.encrypt: m >= n") (fun () ->
       ignore (Crypto.Paillier.encrypt pub rng (Crypto.Paillier.modulus pub)))
 
+(* the documented failure paths: tampering and key mismatch surface as
+   [None] (symmetric schemes) or a typed [Paillier_mismatch] — never as
+   silently wrong plaintext *)
+let test_failure_paths () =
+  let module N = Bignum.Bignat in
+  (* DET: the SIV doubles as an auth tag, so a tampered-but-well-sized
+     ciphertext must fail the recomputation check *)
+  let dk = Crypto.Det.key_of_master ~master:"m" ~purpose:"p" in
+  let dc = Crypto.Det.encrypt dk "value" in
+  let flip s i = String.mapi (fun j c ->
+      if i = j then Char.chr (Char.code c lxor 1) else c) s in
+  check_bool "DET SIV mismatch rejected" true
+    (Crypto.Det.decrypt dk (flip dc 0) = None);
+  check_bool "DET body tamper rejected" true
+    (Crypto.Det.decrypt dk (flip dc (String.length dc - 1)) = None);
+  (* PROB: a truncated ciphertext loses part of its MAC *)
+  let pk = Crypto.Prob.key_of_master ~master:"m" ~purpose:"p" in
+  let pc = Crypto.Prob.encrypt pk (Crypto.Drbg.create ~seed:"fp") "payload" in
+  check_bool "PROB truncation rejected" true
+    (Crypto.Prob.decrypt pk (String.sub pc 0 (String.length pc / 2)) = None);
+  (* Paillier: decrypting under the wrong key is detected whenever the
+     ciphertext leaves the wrong key's residue group *)
+  let pub, _ = Lazy.force paillier_keys in
+  let _, sk_small =
+    Crypto.Paillier.keygen ~bits:128 (Crypto.Drbg.create ~seed:"other-key")
+  in
+  let c = Crypto.Paillier.encrypt_int pub (Crypto.Drbg.create ~seed:"fp") 42 in
+  (match Crypto.Paillier.decrypt sk_small c with
+   | exception Fault.Error.E (Fault.Error.Paillier_mismatch _) -> ()
+   | _ -> Alcotest.fail "wrong-key decrypt not detected");
+  (* ... and a structurally valid plaintext outside the native int range
+     is a mismatch, not a silent wrap-around *)
+  let big = N.of_string "9000000000000000000" (* > max_int on 64-bit *) in
+  let cbig = Crypto.Paillier.encrypt pub (Crypto.Drbg.create ~seed:"fp") big in
+  match Crypto.Paillier.decrypt_int (snd (Lazy.force paillier_keys)) cbig with
+  | exception Fault.Error.E (Fault.Error.Paillier_mismatch _) -> ()
+  | _ -> Alcotest.fail "out-of-range plaintext not detected"
+
 let paillier_properties =
   [ QCheck.Test.make ~name:"paillier sum homomorphism" ~count:25
       (QCheck.pair (QCheck.int_range (-10000) 10000) (QCheck.int_range (-10000) 10000))
@@ -352,6 +390,7 @@ let () =
        :: List.map (fun t -> QCheck_alcotest.to_alcotest t) ope_hgd_properties);
       ("paillier",
        Alcotest.test_case "Paillier unit" `Quick test_paillier
+       :: Alcotest.test_case "failure paths" `Quick test_failure_paths
        :: List.map (fun t -> QCheck_alcotest.to_alcotest t) paillier_properties);
       ("misc",
        [ Alcotest.test_case "hex" `Quick test_hex;

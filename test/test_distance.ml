@@ -372,8 +372,15 @@ let test_measure () =
      ignore
        (Distance.Measure.compute Distance.Measure.default_ctx Distance.Measure.Result
           (parse "SELECT a FROM r") (parse "SELECT a FROM r"));
-     Alcotest.fail "expected invalid_arg"
-   with Invalid_argument _ -> ())
+     Alcotest.fail "expected typed invariant error"
+   with Fault.Error.E (Fault.Error.Invariant _) -> ());
+  (match
+     Distance.Measure.matrix_r Distance.Measure.default_ctx Distance.Measure.Result
+       [ parse "SELECT a FROM r" ]
+   with
+   | Ok _ -> Alcotest.fail "matrix_r without db must error"
+   | Error [ Fault.Error.Invariant _ ] -> ()
+   | Error _ -> Alcotest.fail "matrix_r without db: wrong error shape")
 
 (* metric-ish properties of measures over generated queries *)
 let measure_properties =

@@ -60,6 +60,11 @@ let test_mli01 () =
   check_findings "MLI01 fixture" "lib/minidb/no_mli.ml" [ ("MLI01", 1) ];
   check_errors_nonzero "lib/minidb/no_mli.ml"
 
+let test_err01 () =
+  check_findings "ERR01 fixture" "lib/fault/bad_err01.ml"
+    [ ("ERR01", 2); ("ERR01", 4) ];
+  check_errors_nonzero "lib/fault/bad_err01.ml"
+
 (* ---- fixtures: clean & suppressed ---- *)
 
 let test_good_clean () =
@@ -80,8 +85,9 @@ let test_whole_fixture_tree () =
   Alcotest.(check int) "RNG01 count" 2 (by_rule "RNG01");
   Alcotest.(check int) "UNSAFE01 count" 2 (by_rule "UNSAFE01");
   Alcotest.(check int) "EXN01 count" 2 (by_rule "EXN01");
+  Alcotest.(check int) "ERR01 count" 2 (by_rule "ERR01");
   Alcotest.(check int) "MLI01 count" 1 (by_rule "MLI01");
-  Alcotest.(check int) "total" 11 (List.length r.Engine.findings)
+  Alcotest.(check int) "total" 13 (List.length r.Engine.findings)
 
 (* ---- the baseline mechanism ---- *)
 
@@ -131,6 +137,7 @@ let () =
           Alcotest.test_case "RNG01" `Quick test_rng01;
           Alcotest.test_case "UNSAFE01" `Quick test_unsafe01;
           Alcotest.test_case "EXN01" `Quick test_exn01;
+          Alcotest.test_case "ERR01" `Quick test_err01;
           Alcotest.test_case "MLI01" `Quick test_mli01;
           Alcotest.test_case "clean file" `Quick test_good_clean;
           Alcotest.test_case "suppression" `Quick test_suppression;

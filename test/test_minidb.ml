@@ -330,7 +330,62 @@ let test_csvio () =
   check_bool "bad int" true
     (Result.is_error (Minidb.Csvio.table_of_string ~rel:"x" "a:int\nnope\n"));
   check_bool "arity mismatch" true
-    (Result.is_error (Minidb.Csvio.table_of_string ~rel:"x" "a:int,b:int\n1\n"));
+    (Result.is_error (Minidb.Csvio.table_of_string ~rel:"x" "a:int,b:int\n1\n"))
+
+(* fault-tolerant parse: malformed rows become [Csv_malformed {line; _}]
+   while every well-formed row still loads; physical line numbers count
+   newlines inside quoted fields *)
+let test_csvio_partial () =
+  let input =
+    String.concat "\n"
+      [ "a:int,b:string";      (* line 1: header *)
+        "1,one";               (* line 2: good *)
+        "oops,two";            (* line 3: not an int *)
+        "4,\"multi";           (* lines 4-5: good, quoted newline *)
+        "line\"";
+        "6,ab\"cd";            (* line 6: quote in unquoted field *)
+        "7,seven";             (* line 7: good *)
+        "8,\"unterminated" ]   (* line 8: EOF inside quotes *)
+  in
+  (match Minidb.Csvio.table_of_string_partial ~rel:"t" input with
+   | Error e -> Alcotest.failf "partial parse: %s" (Fault.Error.to_string e)
+   | Ok (t, errs) ->
+     check_bool "good rows survive" true
+       (Table.rows t
+        = [ [| v_int 1; v_str "one" |];
+            [| v_int 4; v_str "multi\nline" |];
+            [| v_int 7; v_str "seven" |] ]);
+     (match errs with
+      | [ Fault.Error.Csv_malformed { line = 3; _ };
+          Fault.Error.Csv_malformed { line = 6; _ };
+          Fault.Error.Csv_malformed { line = 8; reason } ] ->
+        check_bool "truncation diagnosed" true
+          (reason = "unterminated quoted field")
+      | _ ->
+        Alcotest.failf "wrong error report: %s"
+          (String.concat "; " (List.map Fault.Error.to_string errs))));
+  (* arity mismatches are per-row too *)
+  (match Minidb.Csvio.table_of_string_partial ~rel:"t" "a:int,b:int\n1,2\n3\n" with
+   | Ok (t, [ Fault.Error.Csv_malformed { line = 3; _ } ]) ->
+     check_int "good row kept" 1 (Table.cardinality t)
+   | _ -> Alcotest.fail "arity mismatch not contained");
+  (* a broken header stays fatal *)
+  (match Minidb.Csvio.table_of_string_partial ~rel:"t" "a\n1\n" with
+   | Error (Fault.Error.Csv_malformed { line = 1; _ }) -> ()
+   | _ -> Alcotest.fail "bad header must be fatal");
+  (* the strict wrapper renders the first partial error *)
+  (match Minidb.Csvio.table_of_string ~rel:"t" "a:int\n1\nx\n",
+         Minidb.Csvio.table_of_string_partial ~rel:"t" "a:int\n1\nx\n" with
+   | Error msg, Ok (_, first :: _) ->
+     check_str "strict = first partial error"
+       (Fault.Error.to_string first) msg
+   | _ -> Alcotest.fail "strict must reject");
+  (* unreadable files surface as a typed Io_failure *)
+  match Minidb.Csvio.read_table_partial ~rel:"t" "/nonexistent/kitdpe.csv" with
+  | Error (Fault.Error.Io_failure _) -> ()
+  | _ -> Alcotest.fail "missing file must be Io_failure"
+
+let test_csvio_dir () =
   (* database directory roundtrip *)
   let dir = Filename.temp_file "kitdpe" "" in
   Sys.remove dir;
@@ -462,5 +517,7 @@ let () =
       ("index", [ Alcotest.test_case "hash index" `Quick test_index ]);
       ("csv",
        Alcotest.test_case "csv io" `Quick test_csvio
+       :: Alcotest.test_case "partial parse" `Quick test_csvio_partial
+       :: Alcotest.test_case "directory roundtrip" `Quick test_csvio_dir
        :: List.map (fun t -> QCheck_alcotest.to_alcotest t) csv_properties);
       ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) exec_properties) ]

@@ -49,8 +49,12 @@ let test_for_range_covers_once () =
           Mutex.unlock lock);
       Alcotest.(check (array int)) "each index exactly once"
         (Array.make n 1) hits;
-      (* kitdpe-lint: allow EXN01 — the failure is the assertion here *)
-      Parallel.Pool.for_range p 0 (fun _ -> failwith "must not run"))
+      (* n = 0: the closure must never run, so even a raising body
+         produces an empty containment report *)
+      Alcotest.(check int) "n=0 reports nothing" 0
+        (List.length
+           (Parallel.Pool.for_range_r p 0 (fun _ ->
+                raise (Failure "must not run")))))
 
 let test_exception_propagates () =
   with_pool ~domains:2 (fun p ->
@@ -59,12 +63,51 @@ let test_exception_propagates () =
       let bump () = Mutex.lock lock; incr ran; Mutex.unlock lock in
       (match
          Parallel.Pool.run_tasks p
-           (* kitdpe-lint: allow EXN01 — this test is the propagation contract *)
-           [ bump; (fun () -> failwith "boom"); bump; bump ]
+           [ bump; (fun () -> raise (Failure "boom")); bump; bump ]
        with
        | () -> Alcotest.fail "expected Failure"
        | exception Failure m -> Alcotest.(check string) "message" "boom" m);
       Alcotest.(check int) "other tasks still ran" 3 !ran)
+
+let test_contained_crash () =
+  with_pool ~domains:2 (fun p ->
+      let before = Parallel.Pool.lane_crashes () in
+      let ran = ref 0 in
+      let lock = Mutex.create () in
+      let bump () = Mutex.lock lock; incr ran; Mutex.unlock lock in
+      let errs =
+        Parallel.Pool.run_tasks_r p
+          [ bump; (fun () -> raise (Failure "boom")); bump; bump ]
+      in
+      (* the crash is contained as a typed per-task error: every other
+         task ran, the batch completed, no worker domain died *)
+      (match errs with
+       | [ (1, Fault.Error.Unexpected _) ] -> ()
+       | _ -> Alcotest.fail "expected exactly task 1 to be contained");
+      Alcotest.(check int) "other tasks still ran" 3 !ran;
+      Alcotest.(check int) "no lane died" before (Parallel.Pool.lane_crashes ());
+      (* the pool is still fully operational after the contained crash *)
+      Alcotest.(check (array int)) "pool still works"
+        (Array.init 100 (fun i -> i * 2))
+        (Parallel.Pool.map_range p 100 (fun i -> i * 2)))
+
+let test_map_range_r_contains () =
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun p ->
+          let res =
+            Parallel.Pool.map_range_r p 9 (fun i ->
+                if i mod 4 = 2 then raise (Failure "bad slot") else i * 10)
+          in
+          Array.iteri
+            (fun i r ->
+              match r with
+              | Ok v -> Alcotest.(check int) "good slot" (i * 10) v
+              | Error (Fault.Error.Unexpected _) ->
+                Alcotest.(check bool) "only armed slots fail" true (i mod 4 = 2)
+              | Error e -> Alcotest.fail (Fault.Error.to_string e))
+            res))
+    [ 1; 2; 4 ]
 
 let test_nested_pool_use () =
   with_pool ~domains:3 (fun p ->
@@ -272,6 +315,9 @@ let () =
            test_for_range_covers_once;
          Alcotest.test_case "exception propagates" `Quick
            test_exception_propagates;
+         Alcotest.test_case "contained crash" `Quick test_contained_crash;
+         Alcotest.test_case "map_range_r contains" `Quick
+           test_map_range_r_contains;
          Alcotest.test_case "nested use" `Quick test_nested_pool_use ]);
       ("dist-matrix",
        [ Alcotest.test_case "of_fun == sequential" `Quick

@@ -8,4 +8,5 @@ let all : Rule.t list =
     Rule_rng01.rule;
     Rule_unsafe01.rule;
     Rule_exn01.rule;
+    Rule_err01.rule;
     Rule_mli01.rule ]

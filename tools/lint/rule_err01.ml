@@ -1,0 +1,59 @@
+(* ERR01 — stringly panics inside the typed-error-channel modules.
+
+   The modules migrated to the [Fault.Error] channel (PR 4) promise
+   their callers that every failure is a matchable variant: a bare
+   [failwith] / [invalid_arg] there re-opens the stringly side channel
+   the migration closed, and — worse — crosses [Parallel.Pool] lanes as
+   an anonymous [Failure] that containment can only classify as
+   [Unexpected].  Scope: lib/fault, lib/parallel, and the migrated
+   pipeline entry modules (csvio, db_encryptor, dist_matrix, measure).
+   [assert false] on genuinely unreachable branches stays allowed (and
+   EXN01 still polices it inside pool tasks). *)
+
+open Parsetree
+
+let id = "ERR01"
+let severity = Rule.Error
+
+let in_scope src =
+  Rule.under [ "lib"; "fault" ] src
+  || Rule.under [ "lib"; "parallel" ] src
+  || (Rule.under [ "lib"; "minidb" ] src
+      && String.equal (Rule.basename src) "csvio.ml")
+  || (Rule.under [ "lib"; "dpe" ] src
+      && String.equal (Rule.basename src) "db_encryptor.ml")
+  || (Rule.under [ "lib"; "mining" ] src
+      && String.equal (Rule.basename src) "dist_matrix.ml")
+  || (Rule.under [ "lib"; "distance" ] src
+      && String.equal (Rule.basename src) "measure.ml")
+
+let check (src : Rule.source) =
+  if not (in_scope src) then []
+  else
+    match src.impl with
+    | None -> []
+    | Some str ->
+      let acc = ref [] in
+      Rule.iter_exprs str (fun e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+            (match Rule.norm_longident txt with
+             | [ (("failwith" | "invalid_arg") as f) ] ->
+               acc :=
+                 Rule.at id severity ~path:src.path e.pexp_loc
+                   (f
+                   ^ " in a fault-channel module: raise Fault.Error.E (or \
+                      return a result) so callers can match the failure \
+                      class")
+                 :: !acc
+             | _ -> ())
+          | _ -> ());
+      List.rev !acc
+
+let rule : Rule.t =
+  { Rule.id;
+    severity;
+    doc =
+      "typed Fault.Error channel only — no failwith/invalid_arg in the \
+       migrated pipeline modules";
+    check }
