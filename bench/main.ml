@@ -5,8 +5,10 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- fig1    -- only Fig. 1
      ... fig1 | table1 | preserve | mining | security | perf
-     dune exec bench/main.exe -- perf --json            -- write BENCH_PR1.json
+     dune exec bench/main.exe -- perf --json            -- write BENCH_PR5.json
      dune exec bench/main.exe -- perf --json=perf.json  -- explicit output path
+     ... perf --json --compare BENCH_PR4.json  -- diff vs an old snapshot
+                                                  (exit 3 on >20% regression)
 
    See DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
    recorded paper-vs-measured outcomes. *)
@@ -472,14 +474,14 @@ let perf () =
     [ 25; 50; 100 ]
 
 (* ---------------------------------------------------------------- *)
-(* P2: multicore & cache trajectory (PR 1) — emits BENCH_PR1.json     *)
+(* P2: perf trajectory — emits BENCH_PR<k>.json                       *)
 (* ---------------------------------------------------------------- *)
 
-(* Each entry compares a baseline implementation against the PR-1 path
-   for the same operation.  [identical] asserts the two paths computed
-   the same answer (bit-for-bit for distance matrices and deterministic
-   ciphers); probabilistic ciphers are compared sequential-vs-parallel
-   under the per-row DRBG contract instead. *)
+(* Each entry compares a baseline implementation against the current
+   optimized path for the same operation.  [identical] asserts the two
+   paths computed the same answer (bit-for-bit for distance matrices and
+   deterministic ciphers); probabilistic ciphers are compared
+   sequential-vs-parallel under the per-row DRBG contract instead. *)
 type perf_entry = {
   op : string;
   pe_n : int;
@@ -526,7 +528,7 @@ let db_rows db =
     (Minidb.Database.tables db)
 
 let perf_parallel () =
-  section "P2: multicore & cache trajectory (PR 1)";
+  section "P2: multicore & feature-cache trajectory";
   let domains = Parallel.Pool.default_domains () in
   let pool = Parallel.Pool.global () in
   Format.printf
@@ -535,7 +537,10 @@ let perf_parallel () =
   let entries = ref [] in
   let push e = entries := e :: !entries in
 
-  (* 1. distance matrices: sequential loop (seed) vs pooled row blocks *)
+  (* 1. distance matrices: the seed's sequential per-pair loop (every
+     cell re-prints, re-lexes and re-extracts both queries) vs the
+     current [Measure.matrix] path — per-query feature precomputation
+     (Distance.Features), interned-int kernels and pooled row blocks *)
   List.iter
     (fun (m, n) ->
       let log =
@@ -546,15 +551,76 @@ let perf_parallel () =
       let qs = Array.of_list log in
       let d i j = M.compute M.default_ctx m qs.(i) qs.(j) in
       let seq = Mining.Dist_matrix.of_fun_seq n d in
-      let par = Mining.Dist_matrix.of_fun ~pool n d in
+      let feat = M.matrix ~pool M.default_ctx m log in
       let t_seq = time_best (fun () -> Mining.Dist_matrix.of_fun_seq n d) in
-      let t_par = time_best (fun () -> Mining.Dist_matrix.of_fun ~pool n d) in
+      let t_feat = time_best (fun () -> M.matrix ~pool M.default_ctx m log) in
       push
         { op = "dist_matrix/" ^ M.to_string m;
           pe_n = n; pe_domains = domains;
-          baseline_ns = t_seq *. 1e9; optimized_ns = t_par *. 1e9;
-          identical = Mining.Dist_matrix.max_abs_diff seq par = 0.0 })
+          baseline_ns = t_seq *. 1e9; optimized_ns = t_feat *. 1e9;
+          identical = Mining.Dist_matrix.max_abs_diff seq feat = 0.0 })
     [ (M.Edit, 200); (M.Edit, 400); (M.Token, 300) ];
+
+  (* 1b. the feature-table win in isolation: both sides run on the same
+     pool, baseline re-derives per pair (the PR-4 path), optimized reads
+     the precomputed table — so any speedup here is amortized
+     tokenization + interned kernels, not parallelism *)
+  List.iter
+    (fun (m, n) ->
+      let log =
+        Workload.Gen_query.skyserver_log
+          { Workload.Gen_query.n; templates = 4; seed = "p2-dm";
+            caps = Workload.Gen_query.caps_for_measure m }
+      in
+      let qs = Array.of_list log in
+      let d i j = M.compute M.default_ctx m qs.(i) qs.(j) in
+      let per_pair = Mining.Dist_matrix.of_fun ~pool n d in
+      let feat = M.matrix ~pool M.default_ctx m log in
+      let t_pair = time_best (fun () -> Mining.Dist_matrix.of_fun ~pool n d) in
+      let t_feat = time_best (fun () -> M.matrix ~pool M.default_ctx m log) in
+      push
+        { op = "dist_matrix/" ^ M.to_string m ^ "/features";
+          pe_n = n; pe_domains = domains;
+          baseline_ns = t_pair *. 1e9; optimized_ns = t_feat *. 1e9;
+          identical = Mining.Dist_matrix.max_abs_diff per_pair feat = 0.0 })
+    [ (M.Edit, 200); (M.Token, 300) ];
+
+  (* 1c. the edit kernel alone: classic one-row DP vs the Myers
+     bit-parallel kernel on identical interned-int sequences (lengths
+     straddle the 62-bit block boundary) *)
+  let lev_pairs = 64 in
+  let lrng = Crypto.Drbg.create ~seed:"p2-lev" in
+  let lev_alphabet = 48 in
+  let rand_seq () =
+    Array.init
+      (64 + Crypto.Drbg.uniform_int lrng 96)
+      (fun _ -> Crypto.Drbg.uniform_int lrng lev_alphabet)
+  in
+  let lev_inputs = Array.init lev_pairs (fun _ -> (rand_seq (), rand_seq ())) in
+  let dp_dists =
+    Array.map (fun (a, b) -> Distance.D_edit.levenshtein_ints a b) lev_inputs
+  in
+  let my_dists =
+    Array.map
+      (fun (a, b) -> Distance.D_edit.myers ~alphabet:lev_alphabet a b)
+      lev_inputs
+  in
+  let t_dp =
+    time_best (fun () ->
+        Array.map (fun (a, b) -> Distance.D_edit.levenshtein_ints a b) lev_inputs)
+  in
+  let t_my =
+    time_best (fun () ->
+        Array.map
+          (fun (a, b) -> Distance.D_edit.myers ~alphabet:lev_alphabet a b)
+          lev_inputs)
+  in
+  push
+    { op = "levenshtein/myers";
+      pe_n = lev_pairs; pe_domains = 1;
+      baseline_ns = t_dp *. 1e9 /. float_of_int lev_pairs;
+      optimized_ns = t_my *. 1e9 /. float_of_int lev_pairs;
+      identical = dp_dists = my_dists };
 
   (* 2. bulk database encryption: seed's per-value sequential loop vs the
      chunked pooled path with DET/OPE memos and per-row DRBGs *)
@@ -642,7 +708,7 @@ let perf_parallel () =
 let emit_perf_json ~metrics path entries =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"pr\": 2,\n";
+  Printf.fprintf oc "  \"pr\": 5,\n";
   Printf.fprintf oc "  \"bench\": \"perf --json\",\n";
   (* host metadata, so a snapshot from a single-CPU runner is
      self-describing next to one from a many-core box *)
@@ -1018,9 +1084,13 @@ let kmedoids_ablation () =
 
 (* [-- perf --json [PATH]] additionally writes the machine-readable perf
    trajectory (op, n, domains, ns/op, speedup) plus a kitdpe.* metrics
-   snapshot; the path defaults to BENCH_PR1.json for compatibility *)
+   snapshot.  [--compare OLD.json] prints a per-op table against an
+   earlier snapshot and makes the process exit 3 if any op that both
+   snapshots measured with [identical = true] got > 20% slower. *)
 let json_path = ref None
-let json_default = "BENCH_PR1.json"
+let json_default = "BENCH_PR5.json"
+let compare_path = ref None
+let compare_regressed = ref false
 
 (* A metrics snapshot for the JSON artifact.  If telemetry was already on
    (KITDPE_OBS=1) the snapshot keeps whatever the timed runs above
@@ -1062,9 +1132,30 @@ let metered_metrics_snapshot () =
 let perf_and_trajectory () =
   perf ();
   let entries = perf_parallel () in
-  match !json_path with
-  | Some path -> emit_perf_json ~metrics:(metered_metrics_snapshot ()) path entries
+  (match !json_path with
+   | Some path -> emit_perf_json ~metrics:(metered_metrics_snapshot ()) path entries
+   | None -> ());
+  match !compare_path with
   | None -> ()
+  | Some old_path ->
+    (match Perf_compare.load old_path with
+     | Error e ->
+       Format.printf "@.cannot compare against %s: %s@." old_path e;
+       compare_regressed := true
+     | Ok old_entries ->
+       let cur_entries =
+         List.map
+           (fun e ->
+             { Perf_compare.op = e.op; n = e.pe_n;
+               ns_per_op = e.optimized_ns;
+               baseline_ns_per_op = e.baseline_ns;
+               identical = e.identical })
+           entries
+       in
+       if
+         Perf_compare.report ~old_label:old_path ~old_entries ~cur_entries
+           Format.std_formatter
+       then compare_regressed := true)
 
 let experiments =
   [ ("fig1", fig1); ("table1", table1); ("preserve", preserve);
@@ -1073,9 +1164,11 @@ let experiments =
     ("rules", rules); ("decoys", decoys); ("anchors", anchors);
     ("sessions", sessions); ("ablation-kmedoids", kmedoids_ablation) ]
 
-(* [--json] alone keeps the legacy default path; [--json PATH] and
-   [--json=PATH] name the output file.  A bare word after [--json] that
-   names an experiment is an experiment, not a path. *)
+(* [--json] alone keeps the default path; [--json PATH] and
+   [--json=PATH] name the output file; [--compare OLD.json] /
+   [--compare=OLD.json] name an earlier snapshot to diff against.  A
+   bare word after [--json] that names an experiment is an experiment,
+   not a path. *)
 let rec parse_args = function
   | [] -> []
   | "--json" :: rest -> (
@@ -1092,6 +1185,16 @@ let rec parse_args = function
   | arg :: rest
     when String.length arg > 7 && String.sub arg 0 7 = "--json=" ->
     json_path := Some (String.sub arg 7 (String.length arg - 7));
+    parse_args rest
+  | "--compare" :: path :: rest
+    when String.length path > 0
+         && path.[0] <> '-'
+         && not (List.mem_assoc path experiments) ->
+    compare_path := Some path;
+    parse_args rest
+  | arg :: rest
+    when String.length arg > 10 && String.sub arg 0 10 = "--compare=" ->
+    compare_path := Some (String.sub arg 10 (String.length arg - 10));
     parse_args rest
   | arg :: rest -> arg :: parse_args rest
 
@@ -1112,4 +1215,7 @@ let () =
         names
     | [] -> experiments
   in
-  List.iter (fun (_, f) -> f ()) requested
+  List.iter (fun (_, f) -> f ()) requested;
+  (* exit 3 = perf regression detected by [--compare] (distinct from a
+     crash, so CI can treat it as a warning) *)
+  if !compare_regressed then exit 3

@@ -641,6 +641,27 @@ let chaos seed rows domains report_path =
     (report_of dm_a = report_of dm_b) "reports differ";
   check "dist_matrix: clean once disarmed" (dm_run () = []) "errors remain";
 
+  (* 5b. feature precomputation: per-query build failures are typed,
+     healthy queries still build, and the report is reproducible *)
+  let feat_run () =
+    match M.matrix_r M.default_ctx M.Token log with
+    | Ok _ -> []
+    | Error errs -> errs
+  in
+  let ft_a = staged "distance.features.build=every:4" feat_run in
+  let ft_b = staged "distance.features.build=every:4" feat_run in
+  keep ft_a;
+  check "features: injected builds surface as features.build"
+    (List.exists
+       (function
+         | Fault.Error.Task_failed { label = "features.build"; _ } -> true
+         | _ -> false)
+       ft_a)
+    "no features.build error";
+  check "features: identical report on rerun"
+    (report_of ft_a = report_of ft_b) "reports differ";
+  check "features: clean once disarmed" (feat_run () = []) "errors remain";
+
   (* 6. pool: the armed task crashes, the batch still completes *)
   let pool_run () =
     with_pool domains (fun p ->
@@ -683,7 +704,7 @@ let chaos seed rows domains report_path =
       check (Printf.sprintf "coverage: %s surfaced" p)
         (List.mem p surfaced) "never seen in an error report")
     [ "minidb.csvio.row"; "dpe.db_encryptor.row"; "mining.dist_matrix.eval";
-      "parallel.pool.task"; "crypto.ope.encrypt" ];
+      "distance.features.build"; "parallel.pool.task"; "crypto.ope.encrypt" ];
 
   (* 8. disarming restores the baseline bit-for-bit *)
   check "disarmed: registry empty" (not (Fault.enabled ())) "still armed";

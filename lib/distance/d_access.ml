@@ -10,9 +10,12 @@ let lookup areas key =
   | Some a -> a
   | None -> Access_area.Empty
 
-let per_attribute ?(x = default_x) q1 q2 =
+(* per-attribute deltas of two precomputed area maps — shared by the
+   per-pair path below and the feature table ({!Features.access}), which
+   calls [Access_area.of_query] once per query instead of once per
+   pair *)
+let per_attribute_of_areas ~x a1 a2 =
   check_x x;
-  let a1 = area_map q1 and a2 = area_map q2 in
   let keys =
     List.sort_uniq String.compare (List.map fst a1 @ List.map fst a2)
   in
@@ -20,13 +23,19 @@ let per_attribute ?(x = default_x) q1 q2 =
     (fun key -> (key, Access_area.delta ~x (lookup a1 key) (lookup a2 key)))
     keys
 
-let distance ?(x = default_x) q1 q2 =
-  let deltas = per_attribute ~x q1 q2 in
+let per_attribute ?(x = default_x) q1 q2 =
+  per_attribute_of_areas ~x (area_map q1) (area_map q2)
+
+let distance_of_areas ~x a1 a2 =
+  let deltas = per_attribute_of_areas ~x a1 a2 in
   match deltas with
   | [] -> 0.0
   | _ ->
     (* sum in sorted VALUE order: attribute keys sort differently before
        and after encryption, and float addition is not associative — value
        ordering keeps d(Enc x, Enc y) = d(x, y) bit-exact for every x *)
-    let values = List.sort compare (List.map snd deltas) in
+    let values = List.sort Float.compare (List.map snd deltas) in
     List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+
+let distance ?(x = default_x) q1 q2 =
+  distance_of_areas ~x (area_map q1) (area_map q2)

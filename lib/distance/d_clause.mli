@@ -27,5 +27,14 @@ val projection_set : Sqlir.Ast.query -> string list
 val group_by_set : Sqlir.Ast.query -> string list
 val selection_set : Sqlir.Ast.query -> string list
 
+val combine :
+  ?weights:weights -> projection:float -> group_by:float -> selection:float
+  -> unit -> float
+(** The weighted average of three component distances — the single
+    arithmetic expression shared by {!distance} and the feature-table
+    path ({!Features.clause}), so precomputed component sets yield
+    bit-identical results.
+    @raise Invalid_argument on invalid weights. *)
+
 val distance : ?weights:weights -> Sqlir.Ast.query -> Sqlir.Ast.query -> float
 (** @raise Invalid_argument on invalid weights. *)

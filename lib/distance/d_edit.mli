@@ -10,10 +10,54 @@
     Character-level Levenshtein, by contrast, is {e not} preservable by any
     token-wise scheme — ciphertext tokens have different lengths than their
     plaintexts — which is exactly why the measure must be defined on token
-    sequences.  [char_distance] is provided for that demonstration. *)
+    sequences.  [char_distance] is provided for that demonstration.
+
+    Three kernels compute the same integer distance (DESIGN.md §10):
+    the classic one-row DP ({!levenshtein}, {!levenshtein_ints}), the
+    Myers bit-parallel algorithm over interned symbols ({!myers},
+    O(nm/w) with w = 62 payload bits per word) and the Ukkonen banded
+    early-abandon variant ({!distance_at_most}).  The feature-table
+    matrix path ({!Features}) uses Myers with per-query precomputed
+    pattern bitvectors. *)
+
+val levenshtein : ('a -> 'a -> bool) -> 'a array -> 'a array -> int
+(** Classic one-row DP under a caller-supplied equality. *)
+
+val levenshtein_ints : int array -> int array -> int
+(** {!levenshtein} specialized to interned int symbols (no equality
+    closure in the inner loop); same result as
+    [levenshtein Int.equal]. *)
+
+val myers : alphabet:int -> int array -> int array -> int
+(** Myers bit-parallel edit distance of two interned symbol sequences.
+    Symbols must lie in [\[0, alphabet)].  Equals {!levenshtein_ints} on
+    every input (property-tested), at O(nm/62) word operations. *)
+
+val myers_peq : alphabet:int -> int array -> int array
+(** Pattern preprocessing for {!myers_with_peq}: the per-symbol position
+    bitmasks, one word per 62-symbol block, laid out block-major
+    ([peq.(block * alphabet + sym)]).  Build once per query and reuse
+    across a whole matrix row ({!Features}). *)
+
+val myers_with_peq : alphabet:int -> m:int -> peq:int array -> int array -> int
+(** [myers_with_peq ~alphabet ~m ~peq text] where [peq] is
+    [myers_peq ~alphabet pat] and [m = Array.length pat]. *)
+
+val myers_blocks : int -> int
+(** Number of bit-vector blocks a pattern of the given length needs
+    (exposed for tests). *)
+
+val distance_at_most : bound:int -> int array -> int array -> int option
+(** [Some d] iff the edit distance [d] of the two sequences is
+    [<= bound], else [None]; visits only the diagonal band of
+    half-width [bound] and abandons as soon as every band cell exceeds
+    [bound].  The returned distance is exact, so eps-bounded callers
+    (DBSCAN neighbor checks) can compare it against their threshold
+    with the same float expression as the full path. *)
 
 val char_distance : string -> string -> int
-(** Plain character-level Levenshtein (for the negative demonstration). *)
+(** Plain character-level Levenshtein (for the negative demonstration).
+    Operates directly on the strings — no per-call [char array]. *)
 
 val token_distance : string -> string -> int
 (** Edit distance between the fused token sequences of two query strings

@@ -1,0 +1,108 @@
+(** Per-query feature precomputation for pairwise distance matrices.
+
+    The per-pair measures re-derive every artifact from scratch —
+    printing, lexing, SnipSuggest feature extraction, clause component
+    sets, access areas — which makes an [n]-query matrix cost O(n²)
+    tokenizations.  A feature table is built {e once per matrix}
+    (O(n) tokenizations, in parallel across the pool), with all symbols
+    interned into dense small ints, and pairs are then evaluated from
+    the table.
+
+    {b Bit-identity.}  Every pair evaluator returns the exact float the
+    corresponding per-pair measure returns:
+
+    - interning is injective, so Jaccard intersection/union
+      cardinalities — plain ints — are unchanged and the final division
+      is the same ({!Jaccard.distance_sorted_ints});
+    - the bit-parallel edit kernel computes the same integer distance
+      as the seed dynamic program, so the normalized float is the same
+      division;
+    - clause and access distances are computed by the seed's own
+      shared expressions ({!D_clause.combine},
+      {!D_access.distance_of_areas}).
+
+    Verified by the property tests ([test/test_distance.ml]) with
+    [Mining.Dist_matrix.max_abs_diff = 0.0] against the per-pair
+    matrices for every measure and pool size.
+
+    {b Observability.}  [kitdpe.distance.features.builds] counts
+    per-query builds and [kitdpe.distance.features.reuse] counts record
+    reuses (2 per pair evaluation): a full [n]-matrix reports
+    [builds = n] and [reuse = n² − n], the witness that tokenization is
+    amortized to O(n).
+
+    {b Faults.}  Each per-query build passes the
+    ["distance.features.build"] injection point keyed by the query
+    index. *)
+
+type record = {
+  printed : string;  (** canonical printed form ([Sqlir.Printer]) *)
+  edit_tokens : int array;
+      (** fused token {e sequence} (interned), the edit-distance input *)
+  peq : int array;
+      (** Myers pattern bitvectors of [edit_tokens]
+          ({!D_edit.myers_peq}) *)
+  token_set : int array;
+      (** sorted duplicate-free [edit_tokens] — {!D_token} input *)
+  structure_set : int array;  (** interned {!Feature.t} set *)
+  clause_proj : int array;    (** interned {!D_clause.projection_set} *)
+  clause_group : int array;   (** interned {!D_clause.group_by_set} *)
+  clause_sel : int array;     (** interned {!D_clause.selection_set} *)
+  areas : (string * Access_area.t) list;  (** {!Access_area.of_query} *)
+}
+
+type t
+
+val length : t -> int
+val record : t -> int -> record
+
+val alphabet : t -> int
+(** Size of the edit-token interning (>= 1), the [~alphabet] of the
+    Myers kernel. *)
+
+val build : ?pool:Parallel.Pool.t -> Sqlir.Ast.query array -> t
+(** Build the table, one record per query, across [pool] (default
+    {!Parallel.Pool.global}[ ()]).  Pure per query, so the table is
+    identical for every pool size.  An exception in a per-query build
+    (including an injected fault) propagates. *)
+
+val build_r :
+  ?pool:Parallel.Pool.t
+  -> Sqlir.Ast.query array
+  -> (t, Fault.Error.t list) result
+(** Crash-contained {!build}: per-query failures are collected as
+    [Task_failed { label = "features.build"; index; _ }] instead of
+    raised. *)
+
+(** {2 Pair evaluators}
+
+    [f t i j] is the distance of queries [i] and [j]; each is
+    bit-identical to the corresponding per-pair measure. *)
+
+val token : t -> int -> int -> float
+(** = [D_token.distance_q]. *)
+
+val structure : t -> int -> int -> float
+(** = [D_structure.distance]. *)
+
+val clause : ?weights:D_clause.weights -> t -> int -> int -> float
+(** = [D_clause.distance].
+    @raise Invalid_argument on invalid weights. *)
+
+val access : x:float -> t -> int -> int -> float
+(** = [D_access.distance ~x].
+    @raise Invalid_argument unless [0 < x < 1]. *)
+
+val edit : t -> int -> int -> float
+(** = [D_edit.distance_q], via the bit-parallel kernel. *)
+
+val edit_distance_int : t -> int -> int -> int
+(** The raw (unnormalized) token-level Levenshtein distance. *)
+
+val edit_within : t -> eps:float -> int -> int -> bool
+(** [edit_within t ~eps i j = (edit t i j <= eps)], decided by the
+    banded early-abandoning kernel ({!D_edit.distance_at_most}) without
+    computing the full matrix entry: within the band the exact distance
+    is confirmed against [eps] by the same float comparison, and a
+    banded miss implies the true distance exceeds the bound and hence
+    [eps]. *)

@@ -18,3 +18,27 @@ let similarity ~compare a b =
 let distance ~compare a b = 1.0 -. similarity ~compare a b
 
 let distance_strings a b = distance ~compare:String.compare a b
+
+(* merge-count on pre-sorted, pre-deduplicated int arrays: the
+   feature-table fast path.  Intersection and union cardinalities are
+   integers, so the resulting float is bit-identical to [distance] on
+   the corresponding sets whatever their element type was before
+   interning. *)
+let sizes_sorted_ints (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  let inter = ref 0 and union = ref 0 in
+  let i = ref 0 and j = ref 0 in
+  while !i < la && !j < lb do
+    incr union;
+    let x = Array.unsafe_get a !i and y = Array.unsafe_get b !j in
+    if x = y then begin incr inter; incr i; incr j end
+    else if x < y then incr i
+    else incr j
+  done;
+  union := !union + (la - !i) + (lb - !j);
+  (!inter, !union)
+
+let distance_sorted_ints a b =
+  let inter, union = sizes_sorted_ints a b in
+  if union = 0 then 0.0
+  else 1.0 -. (float_of_int inter /. float_of_int union)

@@ -71,6 +71,18 @@ let record_matrix_span measure queries t0 =
       ~ts_ns:t0 ~dur_ns:dt ()
   end
 
+(* feature-table pair evaluator: closes over the precomputed table, so
+   the Sym_matrix fill touches no query text.  Bit-identical to
+   [compute] per pair (see Features). *)
+let pair_of_features ctx measure feats =
+  match measure with
+  | Token -> fun i j -> Obs.Metric.incr m_evals; Features.token feats i j
+  | Structure -> fun i j -> Obs.Metric.incr m_evals; Features.structure feats i j
+  | Edit -> fun i j -> Obs.Metric.incr m_evals; Features.edit feats i j
+  | Clause -> fun i j -> Obs.Metric.incr m_evals; Features.clause feats i j
+  | Access -> fun i j -> Obs.Metric.incr m_evals; Features.access ~x:ctx.x feats i j
+  | Result -> assert false
+
 let matrix ?pool ctx measure queries =
   let t0 = Obs.time_start () in
   let m =
@@ -78,9 +90,11 @@ let matrix ?pool ctx measure queries =
     | Result, Some db -> D_result.matrix ?pool db queries
     | Result, None -> raise (Fault.Error.E (missing_db "Distance.Measure.matrix"))
     | (Token | Structure | Access | Edit | Clause), _ ->
+      let pool = match pool with Some p -> p | None -> Parallel.Pool.global () in
       let qs = Array.of_list queries in
-      Parallel.Sym_matrix.build ?pool (Array.length qs) (fun i j ->
-          compute ctx measure qs.(i) qs.(j))
+      let feats = Features.build ~pool qs in
+      Parallel.Sym_matrix.build ~pool (Array.length qs)
+        (pair_of_features ctx measure feats)
   in
   record_matrix_span measure queries t0;
   m
@@ -92,18 +106,23 @@ let matrix_r ?pool ctx measure queries =
     | Result, Some db -> D_result.matrix_r ?pool db queries
     | Result, None -> Error [ missing_db "Distance.Measure.matrix_r" ]
     | (Token | Structure | Access | Edit | Clause), _ ->
+      let pool = match pool with Some p -> p | None -> Parallel.Pool.global () in
       let qs = Array.of_list queries in
-      (match
-         Parallel.Sym_matrix.build_r ?pool (Array.length qs) (fun i j ->
-             compute ctx measure qs.(i) qs.(j))
-       with
-       | Ok m -> Ok m
-       | Error errs ->
-         Error
-           (List.map
-              (fun (i, cause) ->
-                Fault.Error.Task_failed { label = "measure.row"; index = i; cause })
-              errs))
+      (match Features.build_r ~pool qs with
+       | Error errs -> Error errs
+       | Ok feats ->
+         (match
+            Parallel.Sym_matrix.build_r ~pool (Array.length qs)
+              (pair_of_features ctx measure feats)
+          with
+          | Ok m -> Ok m
+          | Error errs ->
+            Error
+              (List.map
+                 (fun (i, cause) ->
+                   Fault.Error.Task_failed
+                     { label = "measure.row"; index = i; cause })
+                 errs)))
   in
   record_matrix_span measure queries t0;
   r

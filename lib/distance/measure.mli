@@ -47,8 +47,12 @@ val matrix :
   ?pool:Parallel.Pool.t -> ctx -> t -> Sqlir.Ast.query list
   -> float array array
 (** The full symmetric pairwise matrix.  Prefer this over calling
-    {!compute} per pair: the result measure evaluates each query once.
-    Large matrices are filled across [pool] (default
+    {!compute} per pair: per-query artifacts (printed form, token
+    sequences, feature / clause sets, access areas) are precomputed once
+    into a {!Features} table — O(n) tokenizations instead of O(n²) — and
+    pairs are evaluated from the table, bit-identically to {!compute}
+    (the result measure likewise evaluates each query once).  Large
+    matrices are filled across [pool] (default
     [Parallel.Pool.global ()]); all measures are pure, so the result is
     identical for every pool size.
     @raise Fault.Error.E [(Invariant _)] if {!Result} is requested
@@ -57,7 +61,8 @@ val matrix :
 val matrix_r :
   ?pool:Parallel.Pool.t -> ctx -> t -> Sqlir.Ast.query list
   -> (float array array, Fault.Error.t list) result
-(** Crash-contained {!matrix}: row failures (including injected faults)
-    are collected as typed [Task_failed] errors instead of raised, and
-    every healthy row still computes; a missing database for {!Result}
-    returns [Error [Invariant _]]. *)
+(** Crash-contained {!matrix}: failures (including injected faults) are
+    collected as typed [Task_failed] errors instead of raised —
+    per-query feature builds as [label = "features.build"], matrix rows
+    as [label = "measure.row"] — and every healthy task still runs; a
+    missing database for {!Result} returns [Error [Invariant _]]. *)

@@ -17,6 +17,28 @@ module SS = Set.Make (String)
 
 let normalize t = List.sort_uniq String.compare t
 
+(* monomorphic orderings (PERF01): same order as the polymorphic
+   [compare] on these shapes — element-wise on string lists with the
+   shorter prefix first, field declaration order on rules (the float
+   fields are never nan) — without the generic-compare dispatch *)
+let compare_itemsets = List.compare String.compare
+
+let compare_sized_itemsets a b =
+  match Int.compare (List.length a) (List.length b) with
+  | 0 -> compare_itemsets a b
+  | c -> c
+
+let compare_rule r1 r2 =
+  match compare_itemsets r1.antecedent r2.antecedent with
+  | 0 ->
+    (match compare_itemsets r1.consequent r2.consequent with
+     | 0 ->
+       (match Float.compare r1.support r2.support with
+        | 0 -> Float.compare r1.confidence r2.confidence
+        | c -> c)
+     | c -> c)
+  | c -> c
+
 let support_count transactions itemset =
   let set = SS.of_list itemset in
   List.length
@@ -79,7 +101,7 @@ let frequent_itemsets params transactions =
     Hashtbl.fold
       (fun i c acc -> if float_of_int c >= min_count then [ i ] :: acc else acc)
       counts []
-    |> List.sort compare
+    |> List.sort compare_itemsets
   in
   let rec grow k frequent acc =
     if k > params.max_size || frequent = [] then List.rev acc
@@ -88,7 +110,7 @@ let frequent_itemsets params transactions =
         candidates frequent
         |> List.filter (fun c ->
                float_of_int (support_count transactions c) >= min_count)
-        |> List.sort compare
+        |> List.sort compare_itemsets
       in
       grow (k + 1) next (List.rev_append next acc)
     end
@@ -96,8 +118,7 @@ let frequent_itemsets params transactions =
   let all = List.rev_append (List.rev l1) [] in
   let all = grow 2 l1 all in
   List.map (fun i -> (i, supp i)) all
-  |> List.sort (fun (a, _) (b, _) ->
-         compare (List.length a, a) (List.length b, b))
+  |> List.sort (fun (a, _) (b, _) -> compare_sized_itemsets a b)
 
 let rules params transactions =
   if not (params.min_confidence > 0.0 && params.min_confidence <= 1.0) then
@@ -142,7 +163,7 @@ let rules params transactions =
             end)
           (subsets itemset))
     frequent
-  |> List.sort compare
+  |> List.sort compare_rule
 
 let map_items f rule =
   { rule with
@@ -150,5 +171,5 @@ let map_items f rule =
     consequent = List.sort String.compare (List.map f rule.consequent) }
 
 let equal_rule_sets a b =
-  let key r = (r.antecedent, r.consequent, r.support, r.confidence) in
-  List.sort compare (List.map key a) = List.sort compare (List.map key b)
+  let sort = List.sort compare_rule in
+  List.equal (fun r1 r2 -> compare_rule r1 r2 = 0) (sort a) (sort b)

@@ -1,5 +1,10 @@
 type params = { eps : float; min_pts : int }
 
+type oracle = {
+  o_n : int;
+  within : int -> int -> bool;
+}
+
 let m_runs = Obs.Registry.counter "kitdpe.mining.dbscan.runs"
 let m_scans = Obs.Registry.counter "kitdpe.mining.dbscan.neighbor_scans"
 let m_clusters = Obs.Registry.counter "kitdpe.mining.dbscan.clusters_found"
@@ -13,14 +18,23 @@ let neighbors m eps i =
   done;
   !acc
 
-let run_core { eps; min_pts } m =
-  let n = Dist_matrix.size m in
+(* same scan order as [neighbors], so the oracle path assigns identical
+   labels whenever [within i j = (get m i j <= eps)] *)
+let neighbors_oracle o i =
+  Obs.Metric.incr m_scans;
+  let acc = ref [] in
+  for j = o.o_n - 1 downto 0 do
+    if j <> i && o.within i j then acc := j :: !acc
+  done;
+  !acc
+
+let expand ~n ~min_pts ~neighbors =
   let labels = Array.make n (-2) in
   (* -2 unvisited, -1 noise, >= 0 cluster id *)
   let cluster = ref (-1) in
   for i = 0 to n - 1 do
     if labels.(i) = -2 then begin
-      let nbrs = neighbors m eps i in
+      let nbrs = neighbors i in
       if List.length nbrs + 1 < min_pts then labels.(i) <- -1
       else begin
         incr cluster;
@@ -33,7 +47,7 @@ let run_core { eps; min_pts } m =
           if labels.(j) = -1 then labels.(j) <- !cluster (* border point *)
           else if labels.(j) = -2 then begin
             labels.(j) <- !cluster;
-            let nbrs_j = neighbors m eps j in
+            let nbrs_j = neighbors j in
             if List.length nbrs_j + 1 >= min_pts then
               List.iter (fun k -> Queue.add k queue) nbrs_j
           end
@@ -43,14 +57,26 @@ let run_core { eps; min_pts } m =
   done;
   labels
 
-let run p m =
-  let t0 = Obs.time_start () in
-  let labels = run_core p m in
+let run_core { eps; min_pts } m =
+  expand ~n:(Dist_matrix.size m) ~min_pts ~neighbors:(neighbors m eps)
+
+let record_run ~n labels t0 =
   if t0 > 0 then begin
     Obs.Metric.incr m_runs;
     Obs.Metric.add m_clusters (Array.fold_left max (-1) labels + 1);
     Obs.Span.record ~cat:"mining"
-      ~name:(Printf.sprintf "dbscan(n=%d)" (Dist_matrix.size m))
+      ~name:(Printf.sprintf "dbscan(n=%d)" n)
       ~ts_ns:t0 ~dur_ns:(Obs.now_ns () - t0) ()
-  end;
+  end
+
+let run p m =
+  let t0 = Obs.time_start () in
+  let labels = run_core p m in
+  record_run ~n:(Dist_matrix.size m) labels t0;
+  labels
+
+let run_oracle ~min_pts o =
+  let t0 = Obs.time_start () in
+  let labels = expand ~n:o.o_n ~min_pts ~neighbors:(neighbors_oracle o) in
+  record_run ~n:o.o_n labels t0;
   labels

@@ -7,3 +7,19 @@ val run : params -> Dist_matrix.t -> int array
 (** Labels per point: cluster ids from 0 upward, [-1] for noise.  Cluster
     ids are assigned in scan order, so equal distance matrices give equal
     label arrays (not merely equal partitions). *)
+
+type oracle = {
+  o_n : int;  (** number of points *)
+  within : int -> int -> bool;
+      (** [within i j] iff [d(i,j) <= eps]; must be symmetric *)
+}
+(** DBSCAN only consumes the predicate "is [d(i,j)] within eps", never
+    the distance value itself, so a caller holding an early-abandoning
+    bounded kernel (e.g. [Distance.Features.edit_within]) can cluster
+    without materializing the O(n²) matrix. *)
+
+val run_oracle : min_pts:int -> oracle -> int array
+(** As {!run}, with neighborhoods answered by the oracle.  The scan
+    order is identical, so when
+    [within i j = (Dist_matrix.get m i j <= eps)] the label array equals
+    [run { eps; min_pts } m] exactly. *)

@@ -81,7 +81,8 @@ let labels_of_clusters n clusters =
   let sorted =
     List.sort
       (fun a b ->
-        compare (List.fold_left min max_int a.members)
+        Int.compare
+          (List.fold_left min max_int a.members)
           (List.fold_left min max_int b.members))
       clusters
   in

@@ -20,7 +20,12 @@ let initial_medoids k m =
       done;
       (!s, j))
   in
-  Array.sort compare score;
+  (* monomorphic comparator (PERF01): scores are finite (never nan), so
+     this orders exactly like the polymorphic compare on the pairs *)
+  Array.sort
+    (fun (a, i) (b, j) ->
+      match Float.compare a b with 0 -> Int.compare i j | c -> c)
+    score;
   Array.init k (fun i -> snd score.(i))
 
 let assign m medoids =
@@ -45,19 +50,28 @@ let update_medoids m labels k =
       | [] -> -1
       | _ ->
         (* the member minimizing total intra-cluster distance; ties break
-           to the lowest index for determinism *)
+           to the lowest index for determinism.  The accumulation abandons
+           a candidate as soon as its partial sum reaches the incumbent:
+           distances are non-negative and float addition of non-negatives
+           is monotone, so the full sum could not win the strict [<]
+           either — the chosen medoid is identical to the full
+           evaluation's. *)
         let best = ref (List.hd members) and best_cost = ref infinity in
         List.iter
           (fun cand ->
-            let cost =
-              List.fold_left
-                (fun acc i -> acc +. Dist_matrix.get m cand i)
-                0.0 members
+            let rec accum acc = function
+              | [] -> Some acc
+              | i :: rest ->
+                let acc = acc +. Dist_matrix.get m cand i in
+                if acc >= !best_cost then None else accum acc rest
             in
-            if cost < !best_cost then begin
+            match accum 0.0 members with
+            | None -> ()
+            | Some cost ->
+              (* the final abandon check already established
+                 [cost < !best_cost] *)
               best := cand;
-              best_cost := cost
-            end)
+              best_cost := cost)
           members;
         !best)
 
@@ -103,6 +117,24 @@ let total_cost m medoids =
   done;
   !cost
 
+(* [total_cost] with early abandon: [Some cost] iff the full sum (same
+   additions, same order) is [< limit], [None] as soon as the running
+   total reaches [limit].  Per-point contributions are non-negative, so
+   a partial sum at [limit] already decides the strict comparison. *)
+let total_cost_within m medoids ~limit =
+  let n = Dist_matrix.size m in
+  let cost = ref 0.0 in
+  let i = ref 0 in
+  while !i < n && !cost < limit do
+    cost :=
+      !cost
+      +. Array.fold_left
+           (fun best mid -> Float.min best (Dist_matrix.get m !i mid))
+           infinity medoids;
+    incr i
+  done;
+  if !i = n && !cost < limit then Some !cost else None
+
 let run_pam p m =
   let n = Dist_matrix.size m in
   let medoids, _ = run_full p m in
@@ -119,12 +151,13 @@ let run_pam p m =
         if not (Array.exists (( = ) cand) medoids) then begin
           let old = medoids.(c) in
           medoids.(c) <- cand;
-          let cost = total_cost m medoids in
-          if cost < !current -. 1e-12 then begin
+          (* early-abandoning cost: identical accept/reject decisions to
+             computing [total_cost] in full against the same threshold *)
+          match total_cost_within m medoids ~limit:(!current -. 1e-12) with
+          | Some cost ->
             current := cost;
             improved := true
-          end
-          else medoids.(c) <- old
+          | None -> medoids.(c) <- old
         end
       done
     done
@@ -133,7 +166,7 @@ let run_pam p m =
 
 let medoids p m =
   let ms, _ = run_full p m in
-  Array.sort compare ms;
+  Array.sort Int.compare ms;
   ms
 
 let cost m medoids labels =

@@ -1,0 +1,4 @@
+let sort_scores (scores : (float * int) array) =
+  Array.sort compare scores
+
+let order (a : int list) (b : int list) = Stdlib.compare a b

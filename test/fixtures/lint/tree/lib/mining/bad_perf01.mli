@@ -1,0 +1,2 @@
+val sort_scores : (float * int) array -> unit
+val order : int list -> int list -> int

@@ -403,6 +403,155 @@ let measure_properties =
       Distance.Measure.Access; Distance.Measure.Edit;
       Distance.Measure.Clause ]
 
+(* ---- PR-5: bit-parallel / banded edit kernels vs the classic DP ---- *)
+
+module DE = Distance.D_edit
+
+let kernel_properties =
+  (* lengths up to 150 cross the 62-symbol block boundary, so the
+     multi-block carry chain is exercised, not just the 1-block fast
+     path *)
+  let arr = QCheck.(array_of_size (QCheck.Gen.int_range 0 150) (int_range 0 40)) in
+  let pairs = QCheck.pair arr arr in
+  [ QCheck.Test.make ~name:"myers = classic DP (incl. >1 block)" ~count:400 pairs
+      (fun (a, b) -> DE.myers ~alphabet:41 a b = DE.levenshtein_ints a b);
+    QCheck.Test.make ~name:"myers via precomputed peq = classic DP" ~count:400
+      pairs
+      (fun (a, b) ->
+        let peq = DE.myers_peq ~alphabet:41 a in
+        let m = Array.length a in
+        (if m = 0 then Array.length b
+         else DE.myers_with_peq ~alphabet:41 ~m ~peq b)
+        = DE.levenshtein_ints a b);
+    QCheck.Test.make ~name:"distance_at_most exact, both sides of the bound"
+      ~count:400
+      (QCheck.triple arr arr (QCheck.int_range 0 160))
+      (fun ((a, b, bound) : int array * int array * int) ->
+        let d = DE.levenshtein_ints a b in
+        match DE.distance_at_most ~bound a b with
+        | Some d' -> d' = d && d <= bound
+        | None -> d > bound) ]
+
+(* ---- PR-5: the feature-precomputed matrix path is bit-identical to the
+   seed's per-pair evaluation, for every measure and pool size ---- *)
+
+let feature_queries =
+  List.map parse
+    [ "SELECT a FROM r WHERE a < 5";
+      "SELECT a FROM r WHERE a < 5 AND b = 2";
+      "SELECT a, b FROM r WHERE b BETWEEN 1 AND 9 ORDER BY a LIMIT 20";
+      "SELECT COUNT(*) FROM r GROUP BY b HAVING COUNT(*) > 2";
+      "SELECT r.a, s.c FROM r JOIN s ON r.a = s.a WHERE s.c IN (1, 2, 3)";
+      "SELECT DISTINCT b FROM r WHERE a >= 10 OR b < 0";
+      "SELECT a FROM r WHERE a LIKE 'x%' AND b IS NOT NULL";
+      "SELECT MAX(a) FROM r WHERE b <> 4" ]
+
+let with_pool domains f =
+  let p = Parallel.Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown p) (fun () -> f p)
+
+let max_abs_diff a b =
+  let d = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri (fun j v -> d := Float.max !d (Float.abs (v -. b.(i).(j)))) row)
+    a;
+  !d
+
+let test_features_matrix_identity () =
+  let ctx = Distance.Measure.default_ctx in
+  let qs = Array.of_list feature_queries in
+  let n = Array.length qs in
+  List.iter
+    (fun m ->
+      let name = Distance.Measure.to_string m in
+      let seed =
+        Array.init n (fun i ->
+            Array.init n (fun j -> Distance.Measure.compute ctx m qs.(i) qs.(j)))
+      in
+      List.iter
+        (fun domains ->
+          with_pool domains (fun pool ->
+              let fast = Distance.Measure.matrix ~pool ctx m feature_queries in
+              check_bool
+                (Printf.sprintf "%s matrix bit-identical (domains=%d)" name
+                   domains)
+                true
+                (max_abs_diff seed fast = 0.0)))
+        [ 1; 3 ])
+    [ Distance.Measure.Token; Distance.Measure.Structure;
+      Distance.Measure.Edit; Distance.Measure.Clause;
+      Distance.Measure.Access ]
+
+let test_features_evaluators () =
+  let ctx = Distance.Measure.default_ctx in
+  let qs = Array.of_list feature_queries in
+  let t = Distance.Features.build qs in
+  let n = Distance.Features.length t in
+  Alcotest.(check int) "table length" (Array.length qs) n;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let pair name fast seedf =
+        check_bool (Printf.sprintf "%s (%d,%d)" name i j) true (fast = seedf)
+      in
+      pair "token" (Distance.Features.token t i j)
+        (Distance.Measure.compute ctx Distance.Measure.Token qs.(i) qs.(j));
+      pair "edit" (Distance.Features.edit t i j)
+        (Distance.Measure.compute ctx Distance.Measure.Edit qs.(i) qs.(j));
+      (* edit_within agrees with the exact normalized comparison at
+         several thresholds, including ones the band rejects *)
+      List.iter
+        (fun eps ->
+          check_bool
+            (Printf.sprintf "edit_within eps=%.2f (%d,%d)" eps i j)
+            (Distance.Features.edit t i j <= eps)
+            (Distance.Features.edit_within t ~eps i j))
+        [ 0.0; 0.1; 0.3; 0.5; 0.9; 1.0 ]
+    done
+  done
+
+let test_features_metrics () =
+  Obs.set_enabled true;
+  let builds = Obs.Registry.counter "kitdpe.distance.features.builds" in
+  let reuse = Obs.Registry.counter "kitdpe.distance.features.reuse" in
+  let b0 = Obs.Metric.value builds and r0 = Obs.Metric.value reuse in
+  let n = List.length feature_queries in
+  let _m =
+    Distance.Measure.matrix Distance.Measure.default_ctx Distance.Measure.Token
+      feature_queries
+  in
+  Alcotest.(check int) "O(n) feature builds" n (Obs.Metric.value builds - b0);
+  Alcotest.(check int) "n^2 - n pair evals reuse the table"
+    ((n * n) - n)
+    (Obs.Metric.value reuse - r0)
+
+let test_features_fault () =
+  Fault.Inject.disarm_all ();
+  (match Fault.Inject.arm_spec "distance.features.build=nth:2" with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Fun.protect ~finally:Fault.Inject.disarm_all (fun () ->
+      (match Distance.Features.build_r (Array.of_list feature_queries) with
+       | Ok _ -> Alcotest.fail "build_r must surface the injected fault"
+       | Error [ Fault.Error.Task_failed { label = "features.build"; index = 2; _ } ] -> ()
+       | Error _ -> Alcotest.fail "build_r: wrong error shape");
+      match
+        Distance.Measure.matrix_r Distance.Measure.default_ctx
+          Distance.Measure.Token feature_queries
+      with
+      | Ok _ -> Alcotest.fail "matrix_r must surface the injected fault"
+      | Error errs ->
+        check_bool "matrix_r error tagged features.build" true
+          (List.exists
+             (function
+               | Fault.Error.Task_failed { label = "features.build"; _ } -> true
+               | _ -> false)
+             errs));
+  (* disarmed: clean build again *)
+  match Distance.Features.build_r (Array.of_list feature_queries) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "clean build after disarm"
+
 let () =
   Alcotest.run "distance"
     [ ("jaccard",
@@ -426,4 +575,12 @@ let () =
       ("result", [ Alcotest.test_case "result distance" `Quick test_result_distance ]);
       ("measure",
        Alcotest.test_case "dispatch" `Quick test_measure
-       :: List.map (fun t -> QCheck_alcotest.to_alcotest t) measure_properties) ]
+       :: List.map (fun t -> QCheck_alcotest.to_alcotest t) measure_properties);
+      ("edit kernels",
+       List.map (fun t -> QCheck_alcotest.to_alcotest t) kernel_properties);
+      ("feature table",
+       [ Alcotest.test_case "matrix bit-identical to seed" `Quick
+           test_features_matrix_identity;
+         Alcotest.test_case "pair evaluators" `Quick test_features_evaluators;
+         Alcotest.test_case "builds/reuse metrics" `Quick test_features_metrics;
+         Alcotest.test_case "fault point surfaces" `Quick test_features_fault ]) ]

@@ -221,18 +221,20 @@ let test_silhouette () =
   Alcotest.(check (float 1e-9)) "single cluster" 0.0
     (Mining.Silhouette.score blobs (Array.make 7 0))
 
+let gen_matrix =
+  QCheck.Gen.(
+    let* n = int_range 3 12 in
+    let* coords = array_size (return n) (float_bound_exclusive 100.0) in
+    return
+      (Mining.Dist_matrix.of_fun n (fun i j ->
+           Float.abs (coords.(i) -. coords.(j)))))
+
+let arb_matrix = QCheck.make gen_matrix
+
 (* the theorem under test everywhere else: identical distance matrices give
    identical mining output, for every algorithm *)
 let mining_determinism =
-  let gen_matrix =
-    QCheck.Gen.(
-      let* n = int_range 3 12 in
-      let* coords = array_size (return n) (float_bound_exclusive 100.0) in
-      return
-        (Mining.Dist_matrix.of_fun n (fun i j ->
-             Float.abs (coords.(i) -. coords.(j)))))
-  in
-  let arb = QCheck.make gen_matrix in
+  let arb = arb_matrix in
   [ QCheck.Test.make ~name:"dbscan deterministic" ~count:100 arb (fun m ->
         Mining.Dbscan.run { Mining.Dbscan.eps = 10.0; min_pts = 2 } m
         = Mining.Dbscan.run { Mining.Dbscan.eps = 10.0; min_pts = 2 } m);
@@ -252,6 +254,139 @@ let mining_determinism =
         let labels = Mining.Hier.cut_k 2 m in
         Mining.Labeling.adjusted_rand_index labels labels = 1.0) ]
 
+(* ---- PR-5: eps-oracle DBSCAN and early-abandon k-medoids are
+   output-identical to the plain-matrix evaluations ---- *)
+
+(* a no-abandon reference k-medoids: the same algorithm as
+   Mining.Kmedoids (Park–Jun init, alternation, PAM swap) with every
+   cost computed in full — the oracle the early-abandon production code
+   must match label-for-label *)
+module Ref_kmedoids = struct
+  module DM = Mining.Dist_matrix
+
+  let initial_medoids k m =
+    let n = DM.size m in
+    let col_sum = Array.init n (fun j ->
+        let s = ref 0.0 in
+        for i = 0 to n - 1 do s := !s +. DM.get m i j done;
+        !s)
+    in
+    let score = Array.init n (fun j ->
+        let s = ref 0.0 in
+        for i = 0 to n - 1 do
+          if col_sum.(i) > 0.0 then s := !s +. (DM.get m i j /. col_sum.(i))
+        done;
+        (!s, j))
+    in
+    Array.sort
+      (fun (a, i) (b, j) ->
+        match Float.compare a b with 0 -> Int.compare i j | c -> c)
+      score;
+    Array.init k (fun i -> snd score.(i))
+
+  let assign m medoids =
+    Array.init (DM.size m) (fun i ->
+        let best = ref 0 and best_d = ref infinity in
+        Array.iteri
+          (fun c mid ->
+            let d = DM.get m i mid in
+            if d < !best_d then begin best := c; best_d := d end)
+          medoids;
+        !best)
+
+  let update_medoids m labels k =
+    let n = DM.size m in
+    Array.init k (fun c ->
+        let members = List.filter (fun i -> labels.(i) = c) (List.init n Fun.id) in
+        match members with
+        | [] -> -1
+        | _ ->
+          let best = ref (List.hd members) and best_cost = ref infinity in
+          List.iter
+            (fun cand ->
+              let cost =
+                List.fold_left (fun acc i -> acc +. DM.get m cand i) 0.0 members
+              in
+              if cost < !best_cost then begin best := cand; best_cost := cost end)
+            members;
+          !best)
+
+  let run_full ~k ~max_iter m =
+    let medoids = ref (initial_medoids k m) in
+    let labels = ref (assign m !medoids) in
+    let continue = ref true and iter = ref 0 in
+    while !continue && !iter < max_iter do
+      incr iter;
+      let medoids' = update_medoids m !labels k in
+      Array.iteri (fun c mid -> if mid = -1 then medoids'.(c) <- !medoids.(c)) medoids';
+      if medoids' = !medoids then continue := false
+      else begin
+        medoids := medoids';
+        labels := assign m !medoids
+      end
+    done;
+    (!medoids, !labels)
+
+  let run ~k ~max_iter m = snd (run_full ~k ~max_iter m)
+
+  let total_cost m medoids =
+    let n = DM.size m in
+    let cost = ref 0.0 in
+    for i = 0 to n - 1 do
+      cost :=
+        !cost
+        +. Array.fold_left (fun best mid -> Float.min best (DM.get m i mid))
+             infinity medoids
+    done;
+    !cost
+
+  let run_pam ~k ~max_iter m =
+    let n = DM.size m in
+    let medoids, _ = run_full ~k ~max_iter m in
+    let medoids = Array.copy medoids in
+    let improved = ref true and sweeps = ref 0 in
+    while !improved && !sweeps < max_iter do
+      improved := false;
+      incr sweeps;
+      let current = ref (total_cost m medoids) in
+      for c = 0 to k - 1 do
+        for cand = 0 to n - 1 do
+          if not (Array.exists (( = ) cand) medoids) then begin
+            let old = medoids.(c) in
+            medoids.(c) <- cand;
+            let cost = total_cost m medoids in
+            if cost < !current -. 1e-12 then begin
+              current := cost;
+              improved := true
+            end
+            else medoids.(c) <- old
+          end
+        done
+      done
+    done;
+    assign m medoids
+end
+
+let pr5_identity =
+  let arb = arb_matrix in
+  let arb_eps = QCheck.pair arb_matrix (QCheck.float_range 0.5 60.0) in
+  [ QCheck.Test.make ~name:"dbscan oracle = dbscan matrix" ~count:150 arb_eps
+      (fun (m, eps) ->
+        let oracle =
+          { Mining.Dbscan.o_n = Mining.Dist_matrix.size m;
+            within = (fun i j -> Mining.Dist_matrix.get m i j <= eps) }
+        in
+        Mining.Dbscan.run_oracle ~min_pts:2 oracle
+        = Mining.Dbscan.run { Mining.Dbscan.eps; min_pts = 2 } m);
+    QCheck.Test.make ~name:"kmedoids abandon = full reference" ~count:150 arb
+      (fun m ->
+        Mining.Kmedoids.run { Mining.Kmedoids.k = 2; max_iter = 30 } m
+        = Ref_kmedoids.run ~k:2 ~max_iter:30 m);
+    QCheck.Test.make ~name:"pam abandon = full reference" ~count:100 arb
+      (fun m ->
+        Mining.Kmedoids.run_pam { Mining.Kmedoids.k = 2; max_iter = 30 } m
+        = Ref_kmedoids.run_pam ~k:2 ~max_iter:30 m) ]
+
 let () =
   Alcotest.run "mining"
     [ ("matrix", [ Alcotest.test_case "dist matrix" `Quick test_dist_matrix ]);
@@ -265,4 +400,5 @@ let () =
       ("apriori", [ Alcotest.test_case "association rules" `Quick test_apriori ]);
       ("silhouette", [ Alcotest.test_case "cluster quality" `Quick test_silhouette ]);
       ("dtw", [ Alcotest.test_case "dynamic time warping" `Quick test_dtw ]);
-      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) mining_determinism) ]
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) mining_determinism);
+      ("pr5 identity", List.map (fun t -> QCheck_alcotest.to_alcotest t) pr5_identity) ]

@@ -9,4 +9,5 @@ let all : Rule.t list =
     Rule_unsafe01.rule;
     Rule_exn01.rule;
     Rule_err01.rule;
-    Rule_mli01.rule ]
+    Rule_mli01.rule;
+    Rule_perf01.rule ]

@@ -12,7 +12,12 @@
      values.  [true] / [false] / [()] are exempt (immediate ints).
 
    The fix is a monomorphic comparator: [Int.compare], [String.compare],
-   or the module's own [compare]/[equal]. *)
+   or the module's own [compare]/[equal].
+
+   Scope note: this rule is deliberately limited to the constant-time-
+   sensitive layers.  Polymorphic compare in the mining hot paths is a
+   performance (not timing) concern and is covered by PERF01, which
+   flags the [compare] references but not [=]/[<>]. *)
 
 open Parsetree
 

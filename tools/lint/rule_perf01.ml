@@ -1,0 +1,56 @@
+(* PERF01 — polymorphic comparison in lib/mining.
+
+   The mining algorithms sort and compare inside O(n log n) / O(n²)
+   loops over distance matrices, itemsets and rules.  [Stdlib.compare]
+   walks arbitrary structure through a C trampoline with per-element
+   dynamic dispatch — on (float, int) score pairs, string lists and rule
+   records this is both slow and fragile (nan ordering, abstract types).
+   Flags, in lib/mining:
+   - references to [Stdlib.compare] / [Pervasives.compare], and to bare
+     [compare] when the file does not define its own top-level
+     [compare].
+
+   The fix is a monomorphic comparator built from [Int.compare] /
+   [Float.compare] / [String.compare] / [List.compare] in the shape of
+   the data (see Apriori.compare_rule, Kmedoids.initial_medoids).
+   Equality operators are not flagged here: unlike lib/crypto (CT02,
+   which also polices [=]/[<>] for timing discipline), mining equality
+   is dominated by int/label comparisons that compile to primitives. *)
+
+open Parsetree
+
+let id = "PERF01"
+let severity = Rule.Error
+
+let check (src : Rule.source) =
+  if not (Rule.under [ "lib"; "mining" ] src) then []
+  else
+    match src.impl with
+    | None -> []
+    | Some str ->
+      let local_compare = Rule_ct02.defines_toplevel_compare str in
+      let acc = ref [] in
+      let add loc msg = acc := Rule.at id severity ~path:src.path loc msg :: !acc in
+      Rule.iter_exprs str (fun e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; loc } ->
+            (match Rule.flatten_longident txt with
+             | [ "Stdlib"; "compare" ] | [ "Pervasives"; "compare" ] ->
+               add loc
+                 "polymorphic Stdlib.compare in a mining hot path; build a \
+                  monomorphic comparator (Int/Float/String/List.compare)"
+             | [ "compare" ] when not local_compare ->
+               add loc
+                 "bare polymorphic compare in a mining hot path; build a \
+                  monomorphic comparator (Int/Float/String/List.compare)"
+             | _ -> ())
+          | _ -> ());
+      List.rev !acc
+
+let rule : Rule.t =
+  { Rule.id;
+    severity;
+    doc =
+      "no polymorphic compare in lib/mining sorts/loops; use monomorphic \
+       comparators";
+    check }
