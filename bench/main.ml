@@ -5,9 +5,9 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- fig1    -- only Fig. 1
      ... fig1 | table1 | preserve | mining | security | perf
-     dune exec bench/main.exe -- perf --json            -- write BENCH_PR5.json
+     dune exec bench/main.exe -- perf --json            -- write BENCH_PR6.json
      dune exec bench/main.exe -- perf --json=perf.json  -- explicit output path
-     ... perf --json --compare BENCH_PR4.json  -- diff vs an old snapshot
+     ... perf --json --compare BENCH_PR5.json  -- diff vs an old snapshot
                                                   (exit 3 on >20% regression)
 
    See DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
@@ -664,6 +664,314 @@ let perf_parallel () =
       pe_n = total_rows; pe_domains = domains;
       baseline_ns = t_base *. 1e9; optimized_ns = t_par *. 1e9; identical };
 
+  (* 3. the modexp stack: the seed's division-based square-and-multiply
+     (kept as [Bignat.mod_pow_binary]) vs CIOS Montgomery with a fixed
+     window.  [mont_pow_w*] isolates the window gain by comparing the
+     bit-at-a-time Montgomery ladder against the windowed one on the
+     same context (512-bit exponents select w=4, 1024-bit w=5). *)
+  let module Bn = Bignum.Bignat in
+  let brng = Crypto.Drbg.bytes_fn (Crypto.Drbg.create ~seed:"p2-modexp") in
+  let modexp_case bits =
+    let m = Bn.add (Bn.shift_left Bn.one (bits - 1)) (Bn.random_bits brng (bits - 1)) in
+    let m = if Bn.is_even m then Bn.add m Bn.one else m in
+    (m, Bn.random_below brng m, Bn.random_bits brng bits)
+  in
+  List.iter
+    (fun bits ->
+      let m, b, e = modexp_case bits in
+      let t_naive = time_best (fun () -> Bn.mod_pow_binary b e m) in
+      let t_mont = time_best (fun () -> Bn.mod_pow b e m) in
+      push
+        { op = Printf.sprintf "bignum/modexp/%d" bits;
+          pe_n = bits; pe_domains = 1;
+          baseline_ns = t_naive *. 1e9; optimized_ns = t_mont *. 1e9;
+          identical = Bn.equal (Bn.mod_pow_binary b e m) (Bn.mod_pow b e m) })
+    [ 512; 1024 ];
+  List.iter
+    (fun (opname, bits) ->
+      let m, b, e = modexp_case bits in
+      let ctx = Option.get (Bn.mont_create m) in
+      let t_bin = time_best (fun () -> Bn.mont_pow_binary ctx b e) in
+      let t_win = time_best (fun () -> Bn.mont_pow ctx b e) in
+      push
+        { op = opname; pe_n = bits; pe_domains = 1;
+          baseline_ns = t_bin *. 1e9; optimized_ns = t_win *. 1e9;
+          identical = Bn.equal (Bn.mont_pow_binary ctx b e) (Bn.mont_pow ctx b e) })
+    [ ("bignum/mont_pow_w4", 512); ("bignum/mont_pow_w5", 1024) ];
+
+  (* 4. Paillier end to end at 512-bit keys.  The encrypt baseline
+     replicates the seed implementation through the public API — same
+     randomness stream, division-based modexp — so the identity check is
+     bit-for-bit.  The decrypt baseline measures the seed's lambda path:
+     one division-based modexp of a lambda-sized exponent mod n²
+     (lambda itself is private, but the binary ladder's schedule depends
+     only on the exponent's bit length, so a same-length stand-in costs
+     the same); the identity check compares the real lambda and CRT
+     decryptions instead. *)
+  let ppub, psec =
+    Crypto.Paillier.keygen ~bits:512 (Crypto.Drbg.create ~seed:"p2-paillier")
+  in
+  let pn = Crypto.Paillier.modulus ppub in
+  let pn2 = Bn.mul pn pn in
+  let naive_unit rng =
+    let rng_fn = Crypto.Drbg.bytes_fn rng in
+    let rec go () =
+      let r = Bn.random_below rng_fn pn in
+      if Bn.is_zero r || not (Bn.equal (Bn.gcd r pn) Bn.one) then go () else r
+    in
+    go ()
+  in
+  let naive_encrypt rng m =
+    let rn = Bn.mod_pow_binary (naive_unit rng) pn pn2 in
+    let gm = Bn.rem (Bn.add Bn.one (Bn.mul m pn)) pn2 in
+    Bn.rem (Bn.mul gm rn) pn2
+  in
+  let enc_k = 8 in
+  let msgs = Array.init enc_k (fun i -> Bn.of_int (1000 + i)) in
+  let run_enc f = Array.map f msgs in
+  let t_enc_base =
+    time_best (fun () ->
+        let rng = Crypto.Drbg.create ~seed:"p2-enc" in
+        run_enc (naive_encrypt rng))
+  in
+  let t_enc_opt =
+    time_best (fun () ->
+        let rng = Crypto.Drbg.create ~seed:"p2-enc" in
+        run_enc (Crypto.Paillier.encrypt ppub rng))
+  in
+  let enc_identical =
+    let a =
+      let rng = Crypto.Drbg.create ~seed:"p2-enc" in
+      run_enc (naive_encrypt rng)
+    in
+    let b =
+      let rng = Crypto.Drbg.create ~seed:"p2-enc" in
+      run_enc (Crypto.Paillier.encrypt ppub rng)
+    in
+    Array.for_all2 Bn.equal a b
+  in
+  push
+    { op = "paillier/encrypt";
+      pe_n = enc_k; pe_domains = 1;
+      baseline_ns = t_enc_base *. 1e9 /. float_of_int enc_k;
+      optimized_ns = t_enc_opt *. 1e9 /. float_of_int enc_k;
+      identical = enc_identical };
+
+  (* warm-pool encryption: the pool entry is consumed per call, so fills
+     run untimed inside each rep and only the request path is clocked *)
+  let pool_k = 32 in
+  let pool_labels = Array.init pool_k (Printf.sprintf "bench/%d") in
+  let label_rng k = Crypto.Drbg.create ~seed:("p2-pool/" ^ k) in
+  let pooled_run pl =
+    Array.map
+      (fun k ->
+        Crypto.Paillier.encrypt_pooled ?pool:pl ppub ~key:k (label_rng k)
+          (Bn.of_int 7))
+      pool_labels
+  in
+  let filled_pool () =
+    let pl = Crypto.Paillier.pool_create () in
+    Array.iter
+      (fun k -> Crypto.Paillier.noise_fill pl ppub ~key:k (label_rng k))
+      pool_labels;
+    pl
+  in
+  let t_pooled =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let pl = filled_pool () in
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (pooled_run (Some pl)));
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let t_unpooled = time_best (fun () -> pooled_run None) in
+  push
+    { op = "paillier/encrypt_pooled";
+      pe_n = pool_k; pe_domains = 1;
+      baseline_ns = t_unpooled *. 1e9 /. float_of_int pool_k;
+      optimized_ns = t_pooled *. 1e9 /. float_of_int pool_k;
+      identical =
+        Array.for_all2 Bn.equal (pooled_run (Some (filled_pool ()))) (pooled_run None) };
+
+  let dec_k = 8 in
+  let cts =
+    Array.init dec_k (fun i ->
+        Crypto.Paillier.encrypt ppub
+          (Crypto.Drbg.create ~seed:(Printf.sprintf "p2-dec%d" i))
+          (Bn.of_int (1 + (i * 17))))
+  in
+  let lam_dec () = Array.map (Crypto.Paillier.decrypt_lambda psec) cts in
+  let crt_dec () = Array.map (Crypto.Paillier.decrypt psec) cts in
+  let fake_lambda = Bn.add (Bn.shift_left Bn.one 511) (Bn.random_bits brng 511) in
+  let t_dec_base =
+    time_best (fun () -> Array.map (fun c -> Bn.mod_pow_binary c fake_lambda pn2) cts)
+  in
+  let t_dec_lambda = time_best lam_dec in
+  let t_dec_crt = time_best crt_dec in
+  let dec_identical = Array.for_all2 Bn.equal (lam_dec ()) (crt_dec ()) in
+  push
+    { op = "paillier/decrypt";
+      pe_n = dec_k; pe_domains = 1;
+      baseline_ns = t_dec_base *. 1e9 /. float_of_int dec_k;
+      optimized_ns = t_dec_crt *. 1e9 /. float_of_int dec_k;
+      identical = dec_identical };
+  (* the CRT gain in isolation: against the already-Montgomery lambda path *)
+  push
+    { op = "paillier/decrypt_crt";
+      pe_n = dec_k; pe_domains = 1;
+      baseline_ns = t_dec_lambda *. 1e9 /. float_of_int dec_k;
+      optimized_ns = t_dec_crt *. 1e9 /. float_of_int dec_k;
+      identical = dec_identical };
+
+  let ca = cts.(0) in
+  let t_add_base =
+    time_best (fun () -> Array.map (fun c -> Bn.rem (Bn.mul ca c) pn2) cts)
+  in
+  let t_add_opt = time_best (fun () -> Array.map (Crypto.Paillier.add ppub ca) cts) in
+  push
+    { op = "paillier/hom_add";
+      pe_n = dec_k; pe_domains = 1;
+      baseline_ns = t_add_base *. 1e9 /. float_of_int dec_k;
+      optimized_ns = t_add_opt *. 1e9 /. float_of_int dec_k;
+      identical =
+        Array.for_all2 Bn.equal
+          (Array.map (fun c -> Bn.rem (Bn.mul ca c) pn2) cts)
+          (Array.map (Crypto.Paillier.add ppub ca) cts) };
+  let k_scalar = 1000 in
+  let t_smul_base =
+    time_best (fun () ->
+        Array.map (fun c -> Bn.mod_pow_binary c (Bn.of_int k_scalar) pn2) cts)
+  in
+  let t_smul_opt =
+    time_best (fun () ->
+        Array.map (fun c -> Crypto.Paillier.scalar_mul ppub c k_scalar) cts)
+  in
+  push
+    { op = "paillier/scalar_mul";
+      pe_n = dec_k; pe_domains = 1;
+      baseline_ns = t_smul_base *. 1e9 /. float_of_int dec_k;
+      optimized_ns = t_smul_opt *. 1e9 /. float_of_int dec_k;
+      identical =
+        Array.for_all2 Bn.equal
+          (Array.map (fun c -> Bn.mod_pow_binary c (Bn.of_int k_scalar) pn2) cts)
+          (Array.map (fun c -> Crypto.Paillier.scalar_mul ppub c k_scalar) cts) };
+
+  (* 5. encrypt_database over a HOM column — the tentpole target.  The
+     baseline replays the seed's sequential per-value loop with
+     division-based Paillier on every HOM cell (same per-cell DRBG, so
+     the ciphertexts are bit-identical); the optimized path prewarms the
+     noise pool across the lanes and only assembles on the request
+     path. *)
+  let hom_q =
+    match
+      Sqlir.Parser.parse_result
+        "SELECT class, SUM(redshift) AS total FROM photoobj GROUP BY class"
+    with
+    | Ok q -> q
+    | Error e -> failwith e
+  in
+  let hom_scheme = Dpe.Selector.select M.Result (Dpe.Log_profile.of_log (hom_q :: dblog)) in
+  let hom_rows = 32 in
+  let hom_db = Workload.Gen_db.skyserver ~seed:"p2-hom" ~rows:hom_rows in
+  let naive_hom_database enc db =
+    let epub, _ = Dpe.Encryptor.paillier enc in
+    let en = Crypto.Paillier.modulus epub in
+    let en2 = Bn.mul en en in
+    let hom_cell ~rel ~row ~attr v =
+      let cell_rng = Dpe.Encryptor.hom_noise_rng enc (Dpe.Encryptor.hom_cell_key ~rel ~row ~attr) in
+      let r =
+        let rng_fn = Crypto.Drbg.bytes_fn cell_rng in
+        let rec go () =
+          let r = Bn.random_below rng_fn en in
+          if Bn.is_zero r || not (Bn.equal (Bn.gcd r en) Bn.one) then go () else r
+        in
+        go ()
+      in
+      let m = if v >= 0 then Bn.of_int v else Bn.sub en (Bn.of_int (-v)) in
+      let rn = Bn.mod_pow_binary r en en2 in
+      let gm = Bn.rem (Bn.add Bn.one (Bn.mul m en)) en2 in
+      Minidb.Value.Vstring
+        (Crypto.Hex.encode (Crypto.Paillier.serialize (Bn.rem (Bn.mul gm rn) en2)))
+    in
+    List.fold_left
+      (fun acc t ->
+        let plain_schema = Minidb.Table.schema t in
+        let rel = plain_schema.Minidb.Schema.rel in
+        let names = Minidb.Schema.column_names plain_schema in
+        let cipher_schema = Dpe.Db_encryptor.encrypt_schema enc plain_schema in
+        let row_i = ref (-1) in
+        let ct =
+          Minidb.Table.map_rows
+            (fun row ->
+              incr row_i;
+              Array.of_list
+                (List.mapi
+                   (fun i name ->
+                     match Dpe.Scheme.class_for_attr hom_scheme name, row.(i) with
+                     | Dpe.Scheme.C_hom, Minidb.Value.Vint v ->
+                       hom_cell ~rel ~row:!row_i ~attr:name v
+                     | _ -> Dpe.Encryptor.encrypt_value enc ~attr:name row.(i))
+                   names))
+            cipher_schema t
+        in
+        Minidb.Database.add_table acc ct)
+      Minidb.Database.empty (Minidb.Database.tables db)
+  in
+  let t_hom_base =
+    time_best ~reps:2 (fun () ->
+        naive_hom_database (Dpe.Encryptor.create keyring hom_scheme) hom_db)
+  in
+  let t_hom_opt =
+    time_best ~reps:2 (fun () ->
+        let enc = Dpe.Encryptor.create keyring hom_scheme in
+        ignore (Dpe.Db_encryptor.prewarm_hom_noise ~pool enc hom_db);
+        Dpe.Db_encryptor.encrypt_database ~pool enc hom_db)
+  in
+  let hom_identical =
+    (* pool off, sequential vs prewarmed multi-domain — and the naive
+       replica's HOM cells agree bit-for-bit with the pooled path *)
+    let seq_pool = Parallel.Pool.create ~domains:1 () in
+    let a =
+      Dpe.Db_encryptor.encrypt_database ~pool:seq_pool
+        (Dpe.Encryptor.create keyring hom_scheme) hom_db
+    in
+    Parallel.Pool.shutdown seq_pool;
+    let enc = Dpe.Encryptor.create keyring hom_scheme in
+    ignore (Dpe.Db_encryptor.prewarm_hom_noise ~pool enc hom_db);
+    let b = Dpe.Db_encryptor.encrypt_database ~pool enc hom_db in
+    let naive_hom_rows =
+      List.concat_map
+        (fun t ->
+          let rel = (Minidb.Table.schema t).Minidb.Schema.rel in
+          let names = Minidb.Schema.column_names (Minidb.Table.schema t) in
+          List.concat
+            (List.mapi
+               (fun r row ->
+                 List.filteri
+                   (fun i _ ->
+                     Dpe.Scheme.class_for_attr hom_scheme (List.nth names i)
+                     = Dpe.Scheme.C_hom)
+                   (Array.to_list row)
+                 |> List.map (fun v -> (rel, r, v)))
+               (Minidb.Table.rows t)))
+    in
+    db_rows a = db_rows b
+    && naive_hom_rows (Minidb.Database.tables (naive_hom_database (Dpe.Encryptor.create keyring hom_scheme) hom_db))
+       = naive_hom_rows (Minidb.Database.tables b)
+  in
+  let hom_cells =
+    hom_rows
+    (* photoobj has one HOM attribute (redshift); specobj has none *)
+  in
+  push
+    { op = "encrypt_database/hom";
+      pe_n = hom_cells; pe_domains = domains;
+      baseline_ns = t_hom_base *. 1e9; optimized_ns = t_hom_opt *. 1e9;
+      identical = hom_identical };
+
   (* 3. OPE memo: cold tree descents vs cache hits, same key *)
   let ope = Crypto.Keyring.ope keyring "p2-ope" in
   let orng = Crypto.Drbg.create ~seed:"p2-ope" in
@@ -708,7 +1016,7 @@ let perf_parallel () =
 let emit_perf_json ~metrics path entries =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"pr\": 5,\n";
+  Printf.fprintf oc "  \"pr\": 6,\n";
   Printf.fprintf oc "  \"bench\": \"perf --json\",\n";
   (* host metadata, so a snapshot from a single-CPU runner is
      self-describing next to one from a many-core box *)
@@ -1088,7 +1396,7 @@ let kmedoids_ablation () =
    earlier snapshot and makes the process exit 3 if any op that both
    snapshots measured with [identical = true] got > 20% slower. *)
 let json_path = ref None
-let json_default = "BENCH_PR5.json"
+let json_default = "BENCH_PR6.json"
 let compare_path = ref None
 let compare_regressed = ref false
 

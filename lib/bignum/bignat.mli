@@ -1,10 +1,11 @@
 (** Arbitrary-precision natural numbers.
 
-    Little-endian limb representation in base [2^26]; all values are
-    normalized (no trailing zero limbs).  This module exists because zarith
-    is not available in the build environment; it provides everything the
-    Paillier cryptosystem ({!Crypto.Paillier}) and the order-preserving
-    encryption range arithmetic need. *)
+    Little-endian limb representation in base [2^30] (the widest radix
+    whose inner-loop accumulators fit OCaml's 63-bit native ints); all
+    values are normalized (no trailing zero limbs).  This module exists
+    because zarith is not available in the build environment; it provides
+    everything the Paillier cryptosystem ({!Crypto.Paillier}) and the
+    order-preserving encryption range arithmetic need. *)
 
 type t
 
@@ -80,12 +81,24 @@ val mod_add : t -> t -> t -> t
 val mod_sub : t -> t -> t -> t
 val mod_mul : t -> t -> t -> t
 val mod_pow : t -> t -> t -> t
-(** [mod_pow b e m] is [b^e mod m] by square-and-multiply. *)
+(** [mod_pow b e m] is [b^e mod m].  Odd moduli [>= 3] are routed through
+    the fixed-window Montgomery path ({!mont_pow} on a fresh context);
+    even moduli fall back to division-based square-and-multiply. *)
+
+val mod_pow_binary : t -> t -> t -> t
+(** Division-based square-and-multiply reference.  Same results as
+    {!mod_pow}; kept for property tests and as the measurable pre-window
+    baseline. *)
 
 (** {2 Montgomery exponentiation}
 
     For repeated exponentiation modulo one odd modulus (Paillier), the
-    Montgomery form avoids a full division per multiplication. *)
+    Montgomery form avoids a full division per multiplication.  The hot
+    kernels are in-place CIOS multiplication and a dedicated squaring
+    over preallocated scratch buffers; {!mont_pow} uses fixed-window
+    (w=4/5 at cryptographic sizes) exponentiation with a full power
+    table and an always-multiply schedule, so the operation sequence
+    depends only on the exponent's bit length, not its digit values. *)
 
 type mont
 (** Precomputed context for one odd modulus. *)
@@ -94,8 +107,12 @@ val mont_create : t -> mont option
 (** [None] when the modulus is even or < 3. *)
 
 val mont_pow : mont -> t -> t -> t
-(** [mont_pow ctx b e] equals [mod_pow b e n] for the context's modulus [n],
-    typically 2-4x faster. *)
+(** [mont_pow ctx b e] equals [mod_pow_binary b e n] for the context's
+    modulus [n], roughly an order of magnitude faster at 1024 bits. *)
+
+val mont_pow_binary : mont -> t -> t -> t
+(** The pre-window bit-at-a-time Montgomery loop over the allocating
+    multiply, kept as a bench baseline and test reference. *)
 
 val gcd : t -> t -> t
 val lcm : t -> t -> t

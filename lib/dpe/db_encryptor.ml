@@ -6,6 +6,7 @@ module Database = Minidb.Database
 let m_rows = Obs.Registry.counter "kitdpe.dpe.db_encryptor.rows"
 let m_cells = Obs.Registry.counter "kitdpe.dpe.db_encryptor.cells"
 let m_table_ns = Obs.Registry.histogram "kitdpe.dpe.db_encryptor.table_ns"
+let m_prewarm_ns = Obs.Registry.histogram "kitdpe.dpe.db_encryptor.prewarm_ns"
 
 let const_class_of enc name =
   match (Encryptor.scheme enc).Scheme.consts with
@@ -55,10 +56,11 @@ let encrypt_table_r ?pool ?(retries = 0) enc table =
   let plain_schema = Table.schema table in
   let names = Schema.column_names plain_schema in
   let cipher_schema = encrypt_schema enc plain_schema in
-  let encoders =
-    Array.of_list (List.map (fun name -> Encryptor.column_encoder enc ~attr:name) names)
-  in
   let rel = plain_schema.Schema.rel in
+  let encoders =
+    Array.of_list
+      (List.map (fun name -> Encryptor.column_encoder enc ~rel ~attr:name) names)
+  in
   let rows = Array.of_list (Table.rows table) in
   let t0 = Obs.time_start () in
   let encrypt_row i row =
@@ -70,7 +72,7 @@ let encrypt_table_r ?pool ?(retries = 0) enc table =
            attempt and exhaust the budget, as a persistent fault should *)
         if k = 0 then Fault.point ~key:i "dpe.db_encryptor.row";
         let rng = Encryptor.row_rng ~attempt:k enc ~rel i in
-        Array.mapi (fun c v -> encoders.(c) ~rng v) row
+        Array.mapi (fun c v -> encoders.(c) ~rng ~row:i v) row
       with
       | cipher -> Ok cipher
       | exception e ->
@@ -134,6 +136,59 @@ let encrypt_database_r ?pool ?retries enc db =
 let encrypt_database ?pool enc db =
   match encrypt_database_r ?pool enc db with
   | cipher, [] -> cipher
+  | _, e :: _ -> raise (Fault.Error.E e)
+
+(* ---- HOM noise prewarm ----
+
+   The r^n factor of every HOM cell is a pure function of the cell's
+   derivation label (Encryptor.hom_cell_key), so idle pool lanes can
+   compute the expensive exponentiations before the bulk pass and park
+   them in the encryptor's noise pool.  Correctness never depends on the
+   prewarm: a cell whose fill failed, was evicted or never ran simply
+   recomputes its factor from the same per-label DRBG during
+   [encrypt_table] — bit-identical output, just slower.  That is also
+   the containment story: a fill aborted by the armed
+   [crypto.paillier.noise_pool] point surfaces in the [_r] error report
+   and degrades to a pool miss, never to a wrong ciphertext. *)
+
+let hom_cells enc db =
+  List.concat_map
+    (fun table ->
+      let s = Table.schema table in
+      let rel = s.Schema.rel in
+      let nrows = List.length (Table.rows table) in
+      List.concat_map
+        (fun (c : Schema.column) ->
+          match const_class_of enc c.Schema.name with
+          | Scheme.C_hom ->
+            List.init nrows (fun row ->
+                Encryptor.hom_cell_key ~rel ~row ~attr:c.Schema.name)
+          | _ -> [])
+        s.Schema.columns)
+    (Database.tables db)
+
+let prewarm_hom_noise_r ?pool ?capacity enc db =
+  let work = Array.of_list (hom_cells enc db) in
+  if Array.length work = 0 then (0, [])
+  else begin
+    let pool = match pool with Some p -> p | None -> Parallel.Pool.global () in
+    (* both mutations of encryptor state happen before going parallel *)
+    let noise_pool = Encryptor.enable_noise_pool ?capacity enc in
+    let pub, _ = Encryptor.paillier enc in
+    let t0 = Obs.time_start () in
+    let failures =
+      Parallel.Pool.for_range_r pool (Array.length work) (fun i ->
+          let key = work.(i) in
+          Crypto.Paillier.noise_fill noise_pool pub ~key
+            (Encryptor.hom_noise_rng enc key))
+    in
+    if t0 > 0 then Obs.Metric.observe_since m_prewarm_ns t0;
+    (Array.length work - List.length failures, List.map snd failures)
+  end
+
+let prewarm_hom_noise ?pool ?capacity enc db =
+  match prewarm_hom_noise_r ?pool ?capacity enc db with
+  | n, [] -> n
   | _, e :: _ -> raise (Fault.Error.E e)
 
 let decrypt_table enc ~plain_schema table =

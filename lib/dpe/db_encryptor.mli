@@ -56,6 +56,31 @@ val encrypt_database_r :
 (** {!encrypt_table_r} over every table; errors concatenated in table
     order. *)
 
+(** {1 HOM noise prewarm} *)
+
+val prewarm_hom_noise :
+  ?pool:Parallel.Pool.t -> ?capacity:int
+  -> Encryptor.t -> Minidb.Database.t -> int
+(** [prewarm_hom_noise enc db] attaches a noise pool to [enc]
+    ({!Encryptor.enable_noise_pool}) and precomputes the Paillier [r^n]
+    factor of every HOM cell of [db] across [pool]'s lanes, so a
+    following {!encrypt_database} pays only the cheap
+    [(1 + m·n) · r^n mod n²] assembly per HOM cell.  Returns the number
+    of cells prewarmed.  The prewarm is an optimization, never a
+    correctness dependency: ciphertexts are bit-identical whether it ran
+    fully, partially, or not at all, because fill and encrypt derive the
+    same randomness from the same per-cell label (DESIGN.md §11).
+    @raise Fault.Error.E with the first fill's typed error;
+    {!prewarm_hom_noise_r} keeps the partial prewarm instead. *)
+
+val prewarm_hom_noise_r :
+  ?pool:Parallel.Pool.t -> ?capacity:int
+  -> Encryptor.t -> Minidb.Database.t -> int * Fault.Error.t list
+(** Crash-contained {!prewarm_hom_noise}: fills that raise (e.g. the
+    armed [crypto.paillier.noise_pool] injection point) are reported and
+    their cells degrade to pool misses at encryption time — partial
+    prewarm, full-fidelity output.  Returns (cells filled, errors). *)
+
 val decrypt_table : Encryptor.t -> plain_schema:Minidb.Schema.t
   -> Minidb.Table.t -> (Minidb.Table.t, string) result
 (** Key-owner inversion, given the plaintext schema (for column names). *)

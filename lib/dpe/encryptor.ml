@@ -25,6 +25,7 @@ type t = {
   ope_keys : (string, Crypto.Ope.key) Hashtbl.t;
   prob_keys : (string, Crypto.Prob.key) Hashtbl.t;
   mutable paillier_pair : (Crypto.Paillier.public * Crypto.Paillier.secret) option;
+  mutable noise_pool : Crypto.Paillier.pool option;
 }
 
 let create keyring scheme =
@@ -33,7 +34,8 @@ let create keyring scheme =
     det_keys = Hashtbl.create 16;
     ope_keys = Hashtbl.create 16;
     prob_keys = Hashtbl.create 16;
-    paillier_pair = None }
+    paillier_pair = None;
+    noise_pool = None }
 
 let scheme t = t.scheme
 
@@ -65,6 +67,31 @@ let paillier t =
     let pair = Crypto.Paillier.keygen ~bits:512 rng in
     t.paillier_pair <- Some pair;
     pair
+
+(* ---- HOM noise pool ----
+
+   Every HOM cell owns a derivation label and draws its Paillier
+   randomness from the keyring DRBG of that label — never from the
+   shared row generator — so the r^n factor can be precomputed by any
+   lane, in any order, before (or instead of) the encrypting lane
+   deriving it itself.  The label depends only on the cell coordinates:
+   it is deliberately independent of the bulk-path retry attempt, so a
+   retried row re-produces the identical HOM ciphertext and a prewarmed
+   pool entry stays valid across retries. *)
+
+let hom_cell_key ~rel ~row ~attr = Printf.sprintf "%s/%d/%s" rel row attr
+
+let hom_noise_rng t key = Crypto.Keyring.drbg t.keyring ("paillier-noise/" ^ key)
+
+let enable_noise_pool ?capacity t =
+  match t.noise_pool with
+  | Some pool -> pool
+  | None ->
+    let pool = Crypto.Paillier.pool_create ?capacity () in
+    t.noise_pool <- Some pool;
+    pool
+
+let noise_pool t = t.noise_pool
 
 (* under a Global policy all identifiers share one token map, so that a
    name used both as a relation and as an attribute stays one token *)
@@ -352,11 +379,11 @@ let row_rng ?(attempt = 0) t ~rel i =
   in
   Crypto.Keyring.drbg t.keyring purpose
 
-let column_encoder t ~attr =
-  let nonnull f ~rng v = if Value.is_null v then v else f ~rng v in
+let column_encoder t ~rel ~attr =
+  let nonnull f ~rng ~row v = if Value.is_null v then v else f ~rng ~row v in
   let det_with key =
     let cache = Crypto.Det.make_cache () in
-    nonnull (fun ~rng:_ v ->
+    nonnull (fun ~rng:_ ~row:_ v ->
         Value.Vstring
           (Crypto.Hex.encode (Crypto.Det.encrypt_cached cache key (value_render v))))
   in
@@ -368,30 +395,37 @@ let column_encoder t ~attr =
   | Scheme.C_prob ->
     let purpose = if is_global t then "const-global" else "const/" ^ attr in
     let key = prob_key t purpose in
-    nonnull (fun ~rng v ->
+    nonnull (fun ~rng ~row:_ v ->
         Value.Vstring
           (Crypto.Hex.encode (Crypto.Prob.encrypt key rng (value_render v))))
   | Scheme.C_ope ->
     let key = ope_key t ("const/" ^ attr) in
-    nonnull (fun ~rng:_ v ->
+    nonnull (fun ~rng:_ ~row:_ v ->
         match v with
         | Value.Vint n -> Value.Vint (ope_int key n)
         | v -> err "OPE column %s holds non-integer %s" attr (Value.to_string v))
   | Scheme.C_ope_join g ->
     let key = join_ope_key t g in
-    nonnull (fun ~rng:_ v ->
+    nonnull (fun ~rng:_ ~row:_ v ->
         match v with
         | Value.Vint n -> Value.Vint (ope_int key n)
         | v ->
           err "OPE join column %s holds non-integer %s" attr (Value.to_string v))
   | Scheme.C_hom ->
     let pub, _ = paillier t in
-    nonnull (fun ~rng v ->
+    (* the shared row generator is ignored: each cell derives its own
+       DRBG from the cell label, the same stream [noise_fill] uses, so
+       the ciphertext is identical with the pool warm, cold or absent *)
+    nonnull (fun ~rng:_ ~row v ->
         match v with
         | Value.Vint n ->
+          let key = hom_cell_key ~rel ~row ~attr in
+          let cell_rng = hom_noise_rng t key in
           Value.Vstring
             (Crypto.Hex.encode
-               (Crypto.Paillier.serialize (Crypto.Paillier.encrypt_int pub rng n)))
+               (Crypto.Paillier.serialize
+                  (Crypto.Paillier.encrypt_int_pooled ?pool:t.noise_pool pub ~key
+                     cell_rng n)))
         | v -> err "HOM column %s holds non-integer %s" attr (Value.to_string v))
 
 let decrypt_value t ~attr v =

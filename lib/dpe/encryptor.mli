@@ -65,15 +65,44 @@ val row_rng : ?attempt:int -> t -> rel:string -> int -> Crypto.Drbg.t
     retried output stays deterministic (DESIGN.md §9). *)
 
 val column_encoder :
-  t -> attr:string -> rng:Crypto.Drbg.t -> Minidb.Value.t -> Minidb.Value.t
-(** [column_encoder t ~attr] resolves the column's keys (not domain-safe;
-    call it before going parallel) and returns a closure over immutable
-    key material that encrypts one value, drawing any randomness from
-    [rng].  Deterministic classes (DET, OPE and their join variants) keep
-    a transparent memo, so repeated values cost one table lookup.
-    Ciphertexts agree with {!encrypt_value} for DET/OPE classes; PROB/HOM
-    ciphertexts are fresh randomizations under the same keys.
+  t -> rel:string -> attr:string
+  -> rng:Crypto.Drbg.t -> row:int -> Minidb.Value.t -> Minidb.Value.t
+(** [column_encoder t ~rel ~attr] resolves the column's keys (not
+    domain-safe; call it before going parallel) and returns a closure
+    over immutable key material that encrypts one value, drawing any
+    randomness from [rng].  Deterministic classes (DET, OPE and their
+    join variants) keep a transparent memo, so repeated values cost one
+    table lookup.  HOM cells ignore [rng] and derive their randomness
+    from the {!hom_cell_key} of [(rel, row, attr)] instead, so their
+    noise factor can be precomputed into the encryptor's noise pool by
+    any lane in any order (or not at all) without changing a single
+    ciphertext bit.  Ciphertexts agree with {!encrypt_value} for DET/OPE
+    classes; PROB/HOM ciphertexts are fresh randomizations under the
+    same keys.
     @raise Encrypt_error as {!encrypt_value}. *)
+
+(** {2 HOM noise pool}
+
+    Plumbing for {!Db_encryptor.prewarm_hom_noise}: the expensive [r^n]
+    factor of each HOM cell is a pure function of the cell's derivation
+    label, so idle lanes can compute it ahead of the bulk pass. *)
+
+val hom_cell_key : rel:string -> row:int -> attr:string -> string
+(** The derivation label of one HOM cell.  A pure function of the cell
+    coordinates — independent of pool size, encryption order and the
+    bulk-path retry attempt. *)
+
+val hom_noise_rng : t -> string -> Crypto.Drbg.t
+(** [hom_noise_rng t key] is the DRBG of one cell label: the stream both
+    {!Crypto.Paillier.noise_fill} and the pool-miss path of the HOM
+    column encoder draw from. *)
+
+val enable_noise_pool : ?capacity:int -> t -> Crypto.Paillier.pool
+(** Attach (or return the existing) noise pool.  Enabling the pool never
+    changes ciphertexts — only where the [r^n] work happens.  Call before
+    going parallel. *)
+
+val noise_pool : t -> Crypto.Paillier.pool option
 
 val encrypt_result_tuple :
   t -> Minidb.Executor.provenance list -> Minidb.Value.t list -> Minidb.Value.t list

@@ -1,0 +1,4 @@
+(* fixture: CT01 — variable-time branches on exponent material in bignum *)
+let skip_zero_digit secret_exponent = secret_exponent = 0
+
+let early_exit_bit exponent_bits i = exponent_bits <> i

@@ -1,0 +1,2 @@
+val skip_zero_digit : int -> bool
+val early_exit_bit : int -> int -> bool

@@ -185,6 +185,61 @@ let test_montgomery () =
     end
   done
 
+let test_mont_window () =
+  (* The three exponentiation paths — fixed-window Montgomery
+     ([mont_pow], what [mod_pow] now delegates to for odd moduli), the
+     bit-at-a-time Montgomery reference ([mont_pow_binary]) and the
+     division-based reference ([mod_pow_binary]) — must agree on inputs
+     spanning limb boundaries (base 2^30: moduli of 29..31 and 59..61
+     bits) and window boundaries (the window width switches at 16, 64
+     and 640 exponent bits; exponent sizes straddle multiples of every
+     window width). *)
+  let rng = seeded_rng "mont-window" in
+  let mod_bits = [ 5; 29; 30; 31; 59; 60; 61; 90; 121; 240; 521 ] in
+  let exp_bits =
+    [ 0; 1; 2; 3; 4; 5; 7; 8; 15; 16; 17; 20; 24; 31; 32; 33; 63; 64; 65; 127;
+      128; 129; 512; 640; 641 ]
+  in
+  let odd_modulus mb =
+    let m = N.add (N.shift_left N.one (mb - 1)) (N.random_bits rng (mb - 1)) in
+    if N.is_even m then N.add m N.one else m
+  in
+  let exponent eb =
+    if eb = 0 then N.zero
+    else N.add (N.shift_left N.one (eb - 1)) (N.random_bits rng (eb - 1))
+  in
+  List.iter
+    (fun mb ->
+      let m = odd_modulus mb in
+      let ctx = Option.get (N.mont_create m) in
+      List.iter
+        (fun eb ->
+          let e = exponent eb in
+          let b = N.random_below rng m in
+          let reference = N.mod_pow_binary b e m in
+          if not (N.equal (N.mont_pow ctx b e) reference) then
+            Alcotest.failf "windowed mont_pow mismatch at m=%s e=%s" (s m) (s e);
+          if not (N.equal (N.mont_pow_binary ctx b e) reference) then
+            Alcotest.failf "binary mont_pow mismatch at m=%s e=%s" (s m) (s e);
+          if not (N.equal (N.mod_pow b e m) reference) then
+            Alcotest.failf "mod_pow delegation mismatch at m=%s e=%s" (s m) (s e))
+        exp_bits)
+    mod_bits;
+  (* edge bases: zero, one, congruent to zero, above the modulus *)
+  let m = odd_modulus 121 in
+  let ctx = Option.get (N.mont_create m) in
+  let e = exponent 65 in
+  List.iter
+    (fun b ->
+      let reference = N.mod_pow_binary b e m in
+      check_str "edge base windowed" (s reference) (s (N.mont_pow ctx b e));
+      check_str "edge base mod_pow" (s reference) (s (N.mod_pow b e m)))
+    [ N.zero; N.one; m; N.add m (N.of_int 5); N.mul m (N.of_int 7); N.sub m N.one ];
+  (* even moduli keep the division-based path and still agree *)
+  let me = N.shift_left (odd_modulus 60) 1 in
+  let b = N.random_below rng me in
+  check_str "even modulus" (s (N.mod_pow_binary b e me)) (s (N.mod_pow b e me))
+
 let test_random_below () =
   let rng = seeded_rng "below" in
   let bound = n "1000" in
@@ -350,6 +405,7 @@ let () =
          Alcotest.test_case "primality" `Quick test_primality;
          Alcotest.test_case "prime generation" `Slow test_generate_prime;
          Alcotest.test_case "montgomery" `Quick test_montgomery;
+         Alcotest.test_case "montgomery window" `Quick test_mont_window;
          Alcotest.test_case "random below" `Quick test_random_below ]);
       ("bigint",
        [ Alcotest.test_case "basics" `Quick test_bigint_basics;

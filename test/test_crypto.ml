@@ -311,6 +311,98 @@ let test_failure_paths () =
   | exception Fault.Error.E (Fault.Error.Paillier_mismatch _) -> ()
   | _ -> Alcotest.fail "out-of-range plaintext not detected"
 
+(* CRT decryption must agree with the lambda/mu reference on every
+   ciphertext shape either path accepts — fresh, homomorphically
+   combined, scalar-multiplied, serialized, and tampered-but-unit — and
+   both must reject non-units and out-of-range values with the same
+   typed error. *)
+let test_crt_vs_lambda () =
+  let module N = Bignum.Bignat in
+  let module P = Crypto.Paillier in
+  let pub, sk = Lazy.force paillier_keys in
+  let rng = Crypto.Drbg.create ~seed:"crt-vs-lambda" in
+  let n = P.modulus pub in
+  let n2 = N.mul n n in
+  let agree what c =
+    check_str what (N.to_string (P.decrypt_lambda sk c))
+      (N.to_string (P.decrypt_crt sk c))
+  in
+  List.iter
+    (fun m -> agree "fresh" (P.encrypt pub rng m))
+    [ N.zero; N.one; N.of_int 424242; N.div n (N.of_int 2); N.sub n N.one ];
+  let ca = P.encrypt_int pub rng 123456 and cb = P.encrypt_int pub rng 7890 in
+  agree "hom add" (P.add pub ca cb);
+  agree "scalar mul" (P.scalar_mul pub ca 37);
+  agree "serialize roundtrip" (P.deserialize (P.serialize ca));
+  (* tampered units: random values below n² that stay coprime to n
+     decrypt to garbage, but the same garbage on both paths *)
+  let gen = Crypto.Drbg.generate rng in
+  let checked = ref 0 in
+  while !checked < 10 do
+    let c = N.random_below gen n2 in
+    if (not (N.is_zero c)) && N.equal (N.gcd c n) N.one then begin
+      agree "tampered unit" c;
+      incr checked
+    end
+  done;
+  check_str "crt decrypts what encrypt produced" "99"
+    (N.to_string (P.decrypt sk (P.encrypt pub rng (N.of_int 99))));
+  let both_reject what c =
+    (match P.decrypt_lambda sk c with
+     | exception Fault.Error.E (Fault.Error.Paillier_mismatch _) -> ()
+     | _ -> Alcotest.failf "%s: lambda path accepted" what);
+    match P.decrypt_crt sk c with
+    | exception Fault.Error.E (Fault.Error.Paillier_mismatch _) -> ()
+    | _ -> Alcotest.failf "%s: crt path accepted" what
+  in
+  both_reject "zero ciphertext" N.zero;
+  both_reject "multiple of n" n;
+  both_reject "c = n^2" n2;
+  both_reject "c > n^2" (N.add n2 N.one)
+
+(* The noise pool is a pure cache: ciphertexts are bit-identical with
+   the pool warm, cold, partially filled, or absent, because hits and
+   misses derive the same r from the same per-label DRBG. *)
+let test_noise_pool () =
+  let module N = Bignum.Bignat in
+  let module P = Crypto.Paillier in
+  let pub, sk = Lazy.force paillier_keys in
+  let label_rng key = Crypto.Drbg.create ~seed:("pool-" ^ key) in
+  let keys = List.init 8 (fun i -> Printf.sprintf "t/%d/a" i) in
+  let encrypt_with ?pool k =
+    P.encrypt_pooled ?pool pub ~key:k (label_rng k) (N.of_int 99)
+  in
+  let reference = List.map (fun k -> encrypt_with k) keys in
+  (* warm pool: every label prefilled, every encryption a hit *)
+  let pool = P.pool_create () in
+  List.iter (fun k -> P.noise_fill pool pub ~key:k (label_rng k)) keys;
+  check_int "depth after fill" 8 (P.pool_depth pool);
+  List.iter2
+    (fun k r -> check_str "warm pool ≡ pool-off" (N.to_string r)
+        (N.to_string (encrypt_with ~pool k)))
+    keys reference;
+  check_int "entries consumed" 0 (P.pool_depth pool);
+  (* partial pool: only half the labels prefilled; misses recompute *)
+  let pool2 = P.pool_create ~capacity:4 () in
+  List.iteri
+    (fun i k -> if i mod 2 = 0 then P.noise_fill pool2 pub ~key:k (label_rng k))
+    keys;
+  check_int "partial depth" 4 (P.pool_depth pool2);
+  List.iter2
+    (fun k r -> check_str "partial pool ≡ pool-off" (N.to_string r)
+        (N.to_string (encrypt_with ~pool:pool2 k)))
+    keys reference;
+  (* refilling a pooled label is a no-op and capacity bounds depth *)
+  let pool3 = P.pool_create ~capacity:2 () in
+  List.iter (fun k -> P.noise_fill pool3 pub ~key:k (label_rng k)) keys;
+  List.iter (fun k -> P.noise_fill pool3 pub ~key:k (label_rng k)) keys;
+  check_int "capacity respected" 2 (P.pool_depth pool3);
+  Alcotest.check_raises "capacity < 1"
+    (Invalid_argument "Paillier.pool_create: capacity < 1") (fun () ->
+      ignore (P.pool_create ~capacity:0 ()));
+  check_str "pooled ciphertext decrypts" "99"
+    (N.to_string (P.decrypt sk (List.hd reference)))
+
 let paillier_properties =
   [ QCheck.Test.make ~name:"paillier sum homomorphism" ~count:25
       (QCheck.pair (QCheck.int_range (-10000) 10000) (QCheck.int_range (-10000) 10000))
@@ -391,6 +483,8 @@ let () =
       ("paillier",
        Alcotest.test_case "Paillier unit" `Quick test_paillier
        :: Alcotest.test_case "failure paths" `Quick test_failure_paths
+       :: Alcotest.test_case "CRT vs lambda" `Quick test_crt_vs_lambda
+       :: Alcotest.test_case "noise pool" `Quick test_noise_pool
        :: List.map (fun t -> QCheck_alcotest.to_alcotest t) paillier_properties);
       ("misc",
        [ Alcotest.test_case "hex" `Quick test_hex;

@@ -249,6 +249,58 @@ let test_faults_off_identical () =
   in
   check_string "bit-identical for every pool size" a b
 
+(* ---------------- noise-pool prewarm: injected fill faults ---------------- *)
+
+let test_noise_pool_injection () =
+  (* an armed [crypto.paillier.noise_pool] point aborts fills; the
+     prewarm reports every victim, and encryption simply misses the pool
+     and recomputes — output stays bit-identical to the pool-off run *)
+  let log =
+    match
+      Sqlir.Parser.parse_result
+        "SELECT class, SUM(redshift) AS total FROM photoobj GROUP BY class"
+    with
+    | Ok q -> [ q ]
+    | Error e -> Alcotest.fail e
+  in
+  let scheme = Dpe.Selector.select Distance.Measure.Result (Dpe.Log_profile.of_log log) in
+  check_bool "redshift is HOM" true
+    (Dpe.Scheme.class_for_attr scheme "redshift" = Dpe.Scheme.C_hom);
+  let db = Workload.Gen_db.skyserver ~seed:"fault-pool" ~rows:16 in
+  let encrypt_pool_off () =
+    let enc = Dpe.Encryptor.create keyring scheme in
+    Minidb.Csvio.table_to_string
+      (List.hd (Minidb.Database.tables (Dpe.Db_encryptor.encrypt_database enc db)))
+  in
+  let reference = encrypt_pool_off () in
+  let enc = Dpe.Encryptor.create keyring scheme in
+  let filled, errs =
+    with_faults "crypto.paillier.noise_pool=always" (fun () ->
+        Dpe.Db_encryptor.prewarm_hom_noise_r enc db)
+  in
+  check_int "every fill aborted" 0 filled;
+  check_bool "victims reported" true (errs <> []);
+  List.iter
+    (fun e ->
+      check_bool "traceable to the armed point" true
+        (E.injected_points e = [ "crypto.paillier.noise_pool" ]))
+    errs;
+  let after_fault =
+    Minidb.Csvio.table_to_string
+      (List.hd (Minidb.Database.tables (Dpe.Db_encryptor.encrypt_database enc db)))
+  in
+  check_string "empty pool degrades to pool-off output" reference after_fault;
+  (* disarmed: the same prewarm fills every HOM cell and stays identical *)
+  let enc2 = Dpe.Encryptor.create keyring scheme in
+  let filled2, errs2 = Dpe.Db_encryptor.prewarm_hom_noise_r enc2 db in
+  check_bool "disarmed prewarm clean" true (errs2 = []);
+  check_int "every HOM cell filled" (List.length errs) filled2;
+  let warm =
+    Minidb.Csvio.table_to_string
+      (List.hd (Minidb.Database.tables (Dpe.Db_encryptor.encrypt_database enc2 db)))
+  in
+  check_string "warm pool bit-identical" reference warm
+
 (* ---------------- Dist_matrix: injected eval faults ---------------- *)
 
 let test_dist_matrix_injection () =
@@ -295,7 +347,9 @@ let () =
             test_encrypt_table_partial;
           Alcotest.test_case "bounded retry" `Quick test_encrypt_table_retry;
           Alcotest.test_case "faults off: bit-identical" `Quick
-            test_faults_off_identical ] );
+            test_faults_off_identical;
+          Alcotest.test_case "noise pool injection" `Quick
+            test_noise_pool_injection ] );
       ( "dist_matrix",
         [ Alcotest.test_case "eval injection" `Quick
             test_dist_matrix_injection ] ) ]

@@ -36,6 +36,13 @@ let test_ct01 () =
     [ ("CT01", 2); ("CT01", 4) ];
   check_errors_nonzero "lib/crypto/bad_ct01.ml"
 
+let test_ct01_bignum () =
+  (* Montgomery-internals coverage: exponent-named identifiers compared
+     with (=)/(<>) inside lib/bignum are variable-time leaks too *)
+  check_findings "CT01 bignum fixture" "lib/bignum/bad_ct01_mont.ml"
+    [ ("CT01", 2); ("CT01", 4) ];
+  check_errors_nonzero "lib/bignum/bad_ct01_mont.ml"
+
 let test_ct02 () =
   check_findings "CT02 fixture" "lib/bignum/bad_ct02.ml"
     [ ("CT02", 2); ("CT02", 4) ];
@@ -85,7 +92,7 @@ let test_whole_fixture_tree () =
     List.length
       (List.filter (fun (f : Rule.finding) -> String.equal f.Rule.rule rule) r.Engine.findings)
   in
-  Alcotest.(check int) "CT01 count" 2 (by_rule "CT01");
+  Alcotest.(check int) "CT01 count" 4 (by_rule "CT01");
   Alcotest.(check int) "CT02 count" 2 (by_rule "CT02");
   Alcotest.(check int) "RNG01 count" 2 (by_rule "RNG01");
   Alcotest.(check int) "UNSAFE01 count" 2 (by_rule "UNSAFE01");
@@ -93,7 +100,7 @@ let test_whole_fixture_tree () =
   Alcotest.(check int) "ERR01 count" 2 (by_rule "ERR01");
   Alcotest.(check int) "MLI01 count" 1 (by_rule "MLI01");
   Alcotest.(check int) "PERF01 count" 2 (by_rule "PERF01");
-  Alcotest.(check int) "total" 15 (List.length r.Engine.findings)
+  Alcotest.(check int) "total" 17 (List.length r.Engine.findings)
 
 (* ---- the baseline mechanism ---- *)
 
@@ -139,6 +146,7 @@ let () =
   Alcotest.run "lint"
     [ ( "fixtures",
         [ Alcotest.test_case "CT01" `Quick test_ct01;
+          Alcotest.test_case "CT01 bignum" `Quick test_ct01_bignum;
           Alcotest.test_case "CT02" `Quick test_ct02;
           Alcotest.test_case "RNG01" `Quick test_rng01;
           Alcotest.test_case "UNSAFE01" `Quick test_unsafe01;

@@ -284,6 +284,62 @@ let test_encrypt_table_deterministic () =
             (tables (encrypt_with p) = reference)))
     [ 1; 2; 4 ]
 
+let test_hom_pool_identical () =
+  (* HOM columns must produce bit-identical ciphertext for every
+     (domains, noise-pool) configuration: pool off, prewarmed, and a
+     tiny-capacity pool that forces most cells to miss.  [caps_full]
+     keeps SUM templates in the log so the selector assigns C_hom. *)
+  let log =
+    Workload.Gen_query.skyserver_log
+      { Workload.Gen_query.n = 40; templates = 6; seed = "par-hom";
+        caps = Workload.Gen_query.caps_full }
+  in
+  (* an explicit SUM query guarantees the HOM column regardless of which
+     templates the generator sampled *)
+  let sum_q =
+    match
+      Sqlir.Parser.parse_result
+        "SELECT class, SUM(redshift) AS total FROM photoobj GROUP BY class"
+    with
+    | Ok q -> q
+    | Error e -> Alcotest.fail e
+  in
+  let scheme = result_scheme (sum_q :: log) in
+  Alcotest.(check bool) "scheme has a HOM column" true
+    (Dpe.Scheme.class_for_attr scheme "redshift" = Dpe.Scheme.C_hom);
+  let db = Workload.Gen_db.skyserver ~seed:"par-hom" ~rows:24 in
+  let tables d =
+    List.map
+      (fun t -> (Minidb.Table.schema t, Minidb.Table.rows t))
+      (Minidb.Database.tables d)
+  in
+  let reference =
+    with_pool ~domains:1 (fun p ->
+        let enc = Dpe.Encryptor.create keyring scheme in
+        tables (Dpe.Db_encryptor.encrypt_database ~pool:p enc db))
+  in
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun p ->
+          (* fully prewarmed pool *)
+          let enc = Dpe.Encryptor.create keyring scheme in
+          let filled, errs = Dpe.Db_encryptor.prewarm_hom_noise_r ~pool:p enc db in
+          Alcotest.(check (list string)) "prewarm clean" []
+            (List.map Fault.Error.to_string errs);
+          Alcotest.(check bool) "prewarm filled cells" true (filled > 0);
+          Alcotest.(check bool)
+            (Printf.sprintf "domains=%d warm pool == pool-off" domains)
+            true
+            (tables (Dpe.Db_encryptor.encrypt_database ~pool:p enc db) = reference);
+          (* near-empty pool: capacity 3 forces misses on most cells *)
+          let enc2 = Dpe.Encryptor.create keyring scheme in
+          let _ = Dpe.Db_encryptor.prewarm_hom_noise_r ~pool:p ~capacity:3 enc2 db in
+          Alcotest.(check bool)
+            (Printf.sprintf "domains=%d capacity-3 pool == pool-off" domains)
+            true
+            (tables (Dpe.Db_encryptor.encrypt_database ~pool:p enc2 db) = reference)))
+    [ 1; 2; 4 ]
+
 let test_encrypt_table_roundtrip () =
   let log =
     Workload.Gen_query.skyserver_log
@@ -336,5 +392,7 @@ let () =
       ("bulk-encryption",
        [ Alcotest.test_case "deterministic across pool sizes" `Quick
            test_encrypt_table_deterministic;
+         Alcotest.test_case "HOM noise pool bit-identical" `Quick
+           test_hom_pool_identical;
          Alcotest.test_case "parallel encrypt decrypts" `Quick
            test_encrypt_table_roundtrip ]) ]

@@ -109,10 +109,14 @@ let exists_expr (e : Parsetree.expression) p =
   it.expr it e;
   !found
 
-(* Names that suggest secret material in lib/crypto.  Substring match on
-   the lowercased last component of an identifier. *)
+(* Names that suggest secret material in lib/crypto and lib/bignum.
+   Substring match on the lowercased last component of an identifier.
+   "exponent"/"lambda" cover the Montgomery exponentiation internals: a
+   branch or comparison keyed on private-exponent material is exactly
+   the variable-time leak CT01 exists to catch. *)
 let secretish_fragments =
-  [ "tag"; "mac"; "siv"; "key"; "token"; "digest"; "secret"; "nonce" ]
+  [ "tag"; "mac"; "siv"; "key"; "token"; "digest"; "secret"; "nonce";
+    "exponent"; "lambda" ]
 
 let name_is_secretish name =
   let name = String.lowercase_ascii name in

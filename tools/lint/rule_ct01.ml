@@ -1,16 +1,22 @@
-(* CT01 — variable-time comparison of secret material in lib/crypto.
+(* CT01 — variable-time comparison of secret material in lib/crypto and
+   lib/bignum (the Montgomery exponentiation internals handle private
+   exponents and key-derived moduli, so they carry the same discipline).
 
-   Flags, inside lib/crypto (except ct.ml, which implements the blessed
-   primitive):
+   Flags, inside those trees (except crypto/ct.ml, which implements the
+   blessed primitive):
    - any reference to [String.equal] / [Bytes.equal] (first-class or
      applied): both short-circuit on the first differing byte, so the
      running time leaks the length of the matching prefix of a MAC tag
      or SIV;
    - [=] / [<>] where an operand mentions an identifier whose name
      suggests secret material (tag/mac/siv/key/token/digest/secret/
-     nonce); [X.length _] subtrees are opaque since lengths are public.
+     nonce/exponent/lambda); [X.length _] subtrees are opaque since
+     lengths are public.
 
-   The fix is [Crypto.Ct.equal], which always scans every byte. *)
+   The fix is [Crypto.Ct.equal] for byte comparisons; exponent loops
+   must use a schedule that does not branch on digit values (Bignat's
+   windowed [mont_pow] multiplies by table entry 0 instead of
+   skipping). *)
 
 open Parsetree
 
@@ -18,7 +24,8 @@ let id = "CT01"
 let severity = Rule.Error
 
 let check (src : Rule.source) =
-  if not (Rule.under [ "lib"; "crypto" ] src) || String.equal (Rule.basename src) "ct.ml"
+  if (not (Rule.under [ "lib"; "crypto" ] src || Rule.under [ "lib"; "bignum" ] src))
+     || String.equal (Rule.basename src) "ct.ml"
   then []
   else
     match src.impl with
@@ -32,7 +39,8 @@ let check (src : Rule.source) =
             (match Rule.norm_longident txt with
              | [ "String"; "equal" ] | [ "Bytes"; "equal" ] ->
                add loc
-                 "variable-time byte comparison in lib/crypto; use Crypto.Ct.equal"
+                 "variable-time byte comparison in crypto/bignum code; use \
+                  Crypto.Ct.equal"
              | _ -> ())
           | Pexp_apply
               ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
@@ -49,6 +57,7 @@ let rule : Rule.t =
   { Rule.id;
     severity;
     doc =
-      "no String.equal/Bytes.equal or (=)/(<>) on tag- or key-bearing values in \
-       lib/crypto; use Crypto.Ct.equal";
+      "no String.equal/Bytes.equal or (=)/(<>) on tag-, key- or exponent-bearing \
+       values in lib/crypto or lib/bignum; use Crypto.Ct.equal / a fixed \
+       multiplication schedule";
     check }
