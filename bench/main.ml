@@ -5,9 +5,9 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- fig1    -- only Fig. 1
      ... fig1 | table1 | preserve | mining | security | perf
-     dune exec bench/main.exe -- perf --json            -- write BENCH_PR6.json
+     dune exec bench/main.exe -- perf --json            -- write BENCH_PR7.json
      dune exec bench/main.exe -- perf --json=perf.json  -- explicit output path
-     ... perf --json --compare BENCH_PR5.json  -- diff vs an old snapshot
+     ... perf --json --compare BENCH_PR6.json  -- diff vs an old snapshot
                                                   (exit 3 on >20% regression)
 
    See DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
@@ -1016,7 +1016,7 @@ let perf_parallel () =
 let emit_perf_json ~metrics path entries =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"pr\": 6,\n";
+  Printf.fprintf oc "  \"pr\": 7,\n";
   Printf.fprintf oc "  \"bench\": \"perf --json\",\n";
   (* host metadata, so a snapshot from a single-CPU runner is
      self-describing next to one from a many-core box *)
@@ -1032,6 +1032,13 @@ let emit_perf_json ~metrics path entries =
      | Some s -> Printf.sprintf "%S" s
      | None -> "null");
   Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
+  (* GC counters at emit time: how much allocator pressure the whole
+     bench run generated on this host *)
+  let gc = Gc.quick_stat () in
+  Printf.fprintf oc "  \"gc_minor_collections\": %d,\n" gc.Gc.minor_collections;
+  Printf.fprintf oc "  \"gc_major_collections\": %d,\n" gc.Gc.major_collections;
+  Printf.fprintf oc "  \"gc_heap_words\": %d,\n" gc.Gc.heap_words;
+  Printf.fprintf oc "  \"gc_promoted_words\": %.0f,\n" gc.Gc.promoted_words;
   Printf.fprintf oc "  \"results\": [\n";
   let last = List.length entries - 1 in
   List.iteri
@@ -1396,7 +1403,7 @@ let kmedoids_ablation () =
    earlier snapshot and makes the process exit 3 if any op that both
    snapshots measured with [identical = true] got > 20% slower. *)
 let json_path = ref None
-let json_default = "BENCH_PR6.json"
+let json_default = "BENCH_PR7.json"
 let compare_path = ref None
 let compare_regressed = ref false
 
@@ -1412,6 +1419,10 @@ let metered_metrics_snapshot () =
     Obs.Registry.reset ();
     Obs.Span.clear ()
   end;
+  (* baseline epoch: the fixed workload below then shows up as windowed
+     throughput in the snapshot's "window" section *)
+  Obs.Window.reset ();
+  Obs.Window.force ();
   let log =
     Workload.Gen_query.skyserver_log
       { Workload.Gen_query.n = 40; templates = 4; seed = "p2-obs";
@@ -1433,7 +1444,7 @@ let metered_metrics_snapshot () =
   ignore
     (Dpe.Db_encryptor.encrypt_database
        (Dpe.Encryptor.create keyring rscheme) db);
-  let snap = Obs.Registry.dump_json () in
+  let snap = Obs.Export.snapshot_json () in
   if not was_on then Obs.set_enabled false;
   snap
 

@@ -203,19 +203,24 @@ let write_trace = function
 let mine m algo k eps seed rows trace path =
   if trace <> None then Obs.set_enabled true;
   let log = read_log path in
-  let ctx =
-    if m = M.Result then M.ctx_with_db (db_for_log ~seed ~rows log)
-    else M.default_ctx
-  in
-  let dm = Dpe.Verdict.distance_matrix ctx m log in
+  (* one root span per request: pool tasks submitted below inherit its
+     trace id, so the --trace output draws flow arrows from this slice
+     to the lane-side pool.task slices *)
   let labels =
-    match algo with
-    | "dbscan" -> Mining.Dbscan.run { Mining.Dbscan.eps; min_pts = 3 } dm
-    | "kmedoids" -> Mining.Kmedoids.run { Mining.Kmedoids.k; max_iter = 50 } dm
-    | "outliers" ->
-      Mining.Outlier.run { Mining.Outlier.p = 0.95; d = eps } dm
-      |> Array.map (fun b -> if b then 1 else 0)
-    | _ -> Mining.Hier.cut_k k dm
+    Obs.Span.with_span ~cat:"cli" "cli.mine" (fun () ->
+        let ctx =
+          if m = M.Result then M.ctx_with_db (db_for_log ~seed ~rows log)
+          else M.default_ctx
+        in
+        let dm = Dpe.Verdict.distance_matrix ctx m log in
+        match algo with
+        | "dbscan" -> Mining.Dbscan.run { Mining.Dbscan.eps; min_pts = 3 } dm
+        | "kmedoids" ->
+          Mining.Kmedoids.run { Mining.Kmedoids.k; max_iter = 50 } dm
+        | "outliers" ->
+          Mining.Outlier.run { Mining.Outlier.p = 0.95; d = eps } dm
+          |> Array.map (fun b -> if b then 1 else 0)
+        | _ -> Mining.Hier.cut_k k dm)
   in
   Array.iteri
     (fun i l ->
@@ -240,14 +245,23 @@ let mine_cmd =
     Term.(const mine $ measure_arg $ algo $ k $ eps $ seed_arg $ rows_arg
           $ trace_arg $ log_arg)
 
-(* stats: run the representative pipeline (encrypt twice -> distance
-   matrix -> cluster) with telemetry on and dump the metric registry.
-   The second encryption pass re-encrypts the same constants, so any log
-   whose scheme uses OPE/DET memoization reports non-zero cache hits. *)
-let stats m pass seed rows json trace path =
-  Obs.set_enabled true;
-  let log = read_log path in
-  let enc = encryptor_of m pass log in
+let read_whole_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_whole_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* the representative telemetry workload shared by [stats] and [top]:
+   encrypt the log twice (the warm pass lights up any OPE/DET memo
+   caches), build a distance matrix over the ciphertext, cluster, and
+   push a small batch through the Paillier encryptor so the HOM latency
+   sketch carries data even under schemes that never touch it *)
+let stats_workload m seed rows enc log round =
   let cipher =
     Obs.Span.with_span ~cat:"cli" "cli.encrypt_log(cold)" (fun () ->
         Dpe.Encryptor.encrypt_log enc log)
@@ -267,29 +281,164 @@ let stats m pass seed rows json trace path =
   let dm = Dpe.Verdict.distance_matrix ctx m cipher in
   let k = min 4 (List.length cipher) in
   if k > 0 then ignore (Mining.Hier.cut_k k dm);
-  write_trace trace;
-  if json then print_endline (Obs.Registry.dump_json ())
-  else Format.printf "%t" Obs.Registry.dump
+  Obs.Span.with_span ~cat:"cli" "cli.hom_encrypt" (fun () ->
+      let pub, _ = Dpe.Encryptor.paillier enc in
+      let rng = Crypto.Drbg.create ~seed:(Printf.sprintf "%s-hom-%d" seed round) in
+      for pass = 1 to 2 do
+        for v = 1 to 4 do
+          ignore (Crypto.Paillier.encrypt_int pub rng ((pass * 100) + v))
+        done
+      done)
 
-let stats_cmd =
+(* the human-readable windowed footer: per-sketch recent throughput and
+   latency quantiles, plus the span-buffer health line *)
+let print_window_footer () =
+  let rated =
+    List.filter_map
+      (fun { Obs.Registry.name; value } ->
+        match value with
+        | Obs.Registry.Vsketch s when s.count > 0 ->
+          (match Obs.Window.rate name with
+           | Some r ->
+             let q p = Option.value ~default:0.0 (Obs.Window.quantile name p) in
+             Some (name, s.count, r, q 0.5, q 0.99)
+           | None -> None)
+        | _ -> None)
+      (Obs.Registry.snapshot ())
+  in
+  if rated <> [] then begin
+    Format.printf "@.windowed (last %.0fs):@."
+      (float (Obs.Window.epoch_ns () * Obs.Window.capacity ()) /. 1e9);
+    Format.printf "  %-44s %10s %10s %12s %12s@." "sketch" "count" "ops/s"
+      "p50" "p99";
+    List.iter
+      (fun (name, count, r, p50, p99) ->
+        Format.printf "  %-44s %10d %10.1f %10.0fns %10.0fns@." name count r
+          p50 p99)
+      rated
+  end;
+  Format.printf "@.spans: %d buffered, %d dropped@."
+    (List.length (Obs.Span.events ()))
+    (Obs.Span.dropped ())
+
+(* stats: run the representative pipeline (encrypt twice -> distance
+   matrix -> cluster -> HOM batch) with telemetry on and report the
+   kitdpe.* registry.  The second encryption pass re-encrypts the same
+   constants, so any log whose scheme uses OPE/DET memoization reports
+   non-zero cache hits. *)
+let stats m pass seed rows json diff openmetrics trace path =
+  Obs.set_enabled true;
+  (* a baseline epoch before the workload makes everything below count
+     as "recent", so windowed ops/s are non-zero in the snapshot *)
+  Obs.Window.force ();
+  let log = read_log path in
+  let enc = encryptor_of m pass log in
+  Obs.Span.with_span ~cat:"cli" "cli.stats" (fun () ->
+      stats_workload m seed rows enc log 0);
+  write_trace trace;
+  Obs.Export.refresh_runtime ();
+  (match openmetrics with
+   | None -> ()
+   | Some file ->
+     write_whole_file file (Obs.Export.openmetrics ());
+     Printf.eprintf "wrote OpenMetrics exposition %s\n%!" file);
+  match diff with
+  | Some old_file ->
+    (match Obs.Export.diff ~old_json:(read_whole_file old_file) with
+     | Ok table -> print_string table
+     | Error e ->
+       Printf.eprintf "stats --diff: %s\n%!" e;
+       exit 2)
+  | None ->
+    if json then print_endline (Obs.Export.snapshot_json ())
+    else begin
+      Format.printf "%t" Obs.Registry.dump;
+      print_window_footer ()
+    end
+
+let stats_measure_arg =
   (* access-area by default: its scheme puts ordered constants under OPE,
      so the memo-cache counters the command exists to surface are live *)
-  let measure =
-    let doc = "Distance measure driving the pipeline (the access-area \
-               and result schemes exercise the OPE cache)." in
-    Arg.(value & opt measure_conv M.Access & info [ "m"; "measure" ] ~docv:"MEASURE" ~doc)
-  in
+  let doc = "Distance measure driving the pipeline (the access-area \
+             and result schemes exercise the OPE cache)." in
+  Arg.(value & opt measure_conv M.Access & info [ "m"; "measure" ] ~docv:"MEASURE" ~doc)
+
+let stats_cmd =
   let json =
     Arg.(value & flag
-         & info [ "json" ] ~doc:"Emit the metrics snapshot as JSON.")
+         & info [ "json" ]
+             ~doc:"Emit the versioned metrics snapshot (schema \
+                   kitdpe.metrics) as JSON.")
+  in
+  let diff =
+    Arg.(value & opt (some string) None
+         & info [ "diff" ] ~docv:"OLD.json"
+             ~doc:"Instead of dumping, print an old/new/delta table of \
+                   this run against a snapshot previously saved with \
+                   --json.")
+  in
+  let openmetrics =
+    Arg.(value & opt (some string) None
+         & info [ "openmetrics" ] ~docv:"FILE"
+             ~doc:"Also write the registry in OpenMetrics text \
+                   exposition format to $(docv).")
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Encrypt and mine a log with telemetry enabled, then report \
              the kitdpe.* metric registry (cache hit rates, distance \
-             evaluations, pool lane activity, latency histograms).")
-    Term.(const stats $ measure $ passphrase_arg $ seed_arg $ rows_arg
-          $ json $ trace_arg $ log_arg)
+             evaluations, pool lane activity, latency sketches and \
+             windowed throughput).")
+    Term.(const stats $ stats_measure_arg $ passphrase_arg $ seed_arg
+          $ rows_arg $ json $ diff $ openmetrics $ trace_arg $ log_arg)
+
+(* top: the same workload in a loop, re-rendering windowed rates and
+   recent quantiles every interval — a minimal [htop] for the pipeline *)
+let top m pass seed rows interval rounds path =
+  Obs.set_enabled true;
+  Obs.Window.configure
+    ~epoch_ns:(max 1_000_000 (int_of_float (interval *. 1e9)))
+    ();
+  Obs.Window.force ();
+  let log = read_log path in
+  let enc = encryptor_of m pass log in
+  let clear = if Unix.isatty Unix.stdout then "\027[2J\027[H" else "" in
+  let rec loop i =
+    if rounds = 0 || i < rounds then begin
+      Obs.Span.with_span ~cat:"cli" "cli.top_round" (fun () ->
+          stats_workload m seed rows enc log i);
+      Obs.Window.tick ();
+      Obs.Export.refresh_runtime ();
+      Format.printf "%s==== kitdpe top: round %d%s (interval %.1fs) ====@."
+        clear (i + 1)
+        (if rounds = 0 then "" else Printf.sprintf "/%d" rounds)
+        interval;
+      print_window_footer ();
+      Format.printf "%!";
+      if rounds = 0 || i + 1 < rounds then Unix.sleepf interval;
+      loop (i + 1)
+    end
+  in
+  loop 0
+
+let top_cmd =
+  let interval =
+    Arg.(value & opt float 1.0
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Seconds between rounds (also the window epoch length).")
+  in
+  let rounds =
+    Arg.(value & opt int 5
+         & info [ "rounds" ] ~docv:"N"
+             ~doc:"Workload rounds to run before exiting; 0 runs until \
+                   interrupted.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Run the stats workload in a loop and re-render windowed \
+             throughput and recent latency quantiles each round.")
+    Term.(const top $ stats_measure_arg $ passphrase_arg $ seed_arg
+          $ rows_arg $ interval $ rounds $ log_arg)
 
 let attack m pass path =
   let log = read_log path in
@@ -753,6 +902,6 @@ let main =
     [ generate_cmd; profile_cmd; select_cmd; encrypt_cmd; decrypt_cmd;
       verify_cmd; mine_cmd; attack_cmd; cryptdb_cmd; table1_cmd;
       normalize_cmd; export_db_cmd; rules_cmd; sessions_cmd; stats_cmd;
-      chaos_cmd ]
+      top_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -23,6 +23,7 @@ let m_hits = Obs.Registry.counter "kitdpe.crypto.ope.cache_hits"
 let m_misses = Obs.Registry.counter "kitdpe.crypto.ope.cache_misses"
 let m_evictions = Obs.Registry.counter "kitdpe.crypto.ope.cache_evictions"
 let m_encrypt_ns = Obs.Registry.histogram "kitdpe.crypto.ope.encrypt_ns"
+let m_encrypt = Obs.Registry.sketch "kitdpe.crypto.ope.encrypt"
 
 let default_params = { plain_bits = 32; cipher_bits = 48 }
 
@@ -152,7 +153,7 @@ let encrypt k m =
   | None ->
     let t0 = Obs.time_start () in
     let c = encrypt_uncached k m in
-    Obs.Metric.observe_since m_encrypt_ns t0;
+    Obs.observe_timed ~hist:m_encrypt_ns ~sketch:m_encrypt t0;
     cache_add k m c;
     c
 

@@ -6,6 +6,12 @@ module N = Bignum.Bignat
 let m_modexp = Obs.Registry.counter "kitdpe.crypto.paillier.modexp"
 let m_encrypts = Obs.Registry.counter "kitdpe.crypto.paillier.encrypts"
 
+(* encryption latency, histogram + quantile sketch: the p50/p99 split is
+   the interesting part (pooled-noise hits vs full r^n exponentiations
+   land orders of magnitude apart) *)
+let m_encrypt_ns = Obs.Registry.histogram "kitdpe.crypto.paillier.encrypt_ns"
+let m_encrypt = Obs.Registry.sketch "kitdpe.crypto.paillier.encrypt"
+
 (* noise-pool telemetry: request-path cache behaviour of precomputed r^n
    factors.  [depth] tracks the current number of pooled entries. *)
 let m_pool_hits = Obs.Registry.counter "kitdpe.crypto.paillier.noise_pool.hits"
@@ -142,7 +148,10 @@ let encrypt pub rng m =
       ~key:(match N.to_int_opt m with Some v -> v | None -> 0)
       "crypto.paillier.encrypt";
   Obs.Metric.incr m_encrypts;
-  assemble pub m (noise pub rng)
+  let t0 = Obs.time_start () in
+  let c = assemble pub m (noise pub rng) in
+  Obs.observe_timed ~hist:m_encrypt_ns ~sketch:m_encrypt t0;
+  c
 
 let encode_int pub v =
   if v >= 0 then N.of_int v else N.sub pub.n (N.of_int (-v))
@@ -228,6 +237,7 @@ let encrypt_pooled ?pool pub ~key rng m =
       ~key:(match N.to_int_opt m with Some v -> v | None -> 0)
       "crypto.paillier.encrypt";
   Obs.Metric.incr m_encrypts;
+  let t0 = Obs.time_start () in
   let rn =
     match pool with
     | None -> noise pub rng
@@ -236,7 +246,9 @@ let encrypt_pooled ?pool pub ~key rng m =
       | Some rn -> rn
       | None -> noise pub rng)
   in
-  assemble pub m rn
+  let c = assemble pub m rn in
+  Obs.observe_timed ~hist:m_encrypt_ns ~sketch:m_encrypt t0;
+  c
 
 let encrypt_int_pooled ?pool pub ~key rng v =
   encrypt_pooled ?pool pub ~key rng (encode_int pub v)

@@ -6,6 +6,7 @@ module Database = Minidb.Database
 let m_rows = Obs.Registry.counter "kitdpe.dpe.db_encryptor.rows"
 let m_cells = Obs.Registry.counter "kitdpe.dpe.db_encryptor.cells"
 let m_table_ns = Obs.Registry.histogram "kitdpe.dpe.db_encryptor.table_ns"
+let m_table = Obs.Registry.sketch "kitdpe.dpe.db_encryptor.table"
 let m_prewarm_ns = Obs.Registry.histogram "kitdpe.dpe.db_encryptor.prewarm_ns"
 
 let const_class_of enc name =
@@ -110,6 +111,9 @@ let encrypt_table_r ?pool ?(retries = 0) enc table =
       names;
     let dt = Obs.now_ns () - t0 in
     Obs.Metric.observe m_table_ns dt;
+    let ctx = Obs.Span.current () in
+    Obs.Sketch.observe m_table ~trace_id:ctx.Obs.Span.trace
+      ~span_id:ctx.Obs.Span.span dt;
     Obs.Span.record ~cat:"dpe"
       ~name:(Printf.sprintf "encrypt_table/%s(rows=%d)" rel (Array.length rows))
       ~ts_ns:t0 ~dur_ns:dt ()

@@ -2,6 +2,7 @@ type t = float array array
 
 let m_evals = Obs.Registry.counter "kitdpe.mining.dist_matrix.evals"
 let m_build_ns = Obs.Registry.histogram "kitdpe.mining.dist_matrix.build_ns"
+let m_build = Obs.Registry.sketch "kitdpe.mining.dist_matrix.build"
 
 (* Where did the wall-clock go?  [of_fun] counts every distance
    evaluation (the n(n-1)/2 upper-triangle calls) and records one span
@@ -19,6 +20,9 @@ let of_fun_instrumented build n d =
     let m = build n d in
     let dt = Obs.now_ns () - t0 in
     Obs.Metric.observe m_build_ns dt;
+    let ctx = Obs.Span.current () in
+    Obs.Sketch.observe m_build ~trace_id:ctx.Obs.Span.trace
+      ~span_id:ctx.Obs.Span.span dt;
     Obs.Span.record ~cat:"mining"
       ~name:(Printf.sprintf "dist_matrix(n=%d)" n)
       ~ts_ns:t0 ~dur_ns:dt ();

@@ -55,3 +55,17 @@ val hist_buckets : histogram -> int array
 (** Merged per-bucket counts, length {!bucket_count}. *)
 
 val reset_histogram : histogram -> unit
+
+(** {2 Sharding internals}
+
+    Shared with [Sketch], which layers DDSketch buckets over the same
+    per-domain cells.  Hidden from the public [Obs] facade. *)
+
+type cells = int Atomic.t array
+(** One shard per slot; a writer bumps [cells.(shard_index ())]. *)
+
+val shard_count : int
+val shard_index : unit -> int
+val make_cells : unit -> cells
+val merge : cells -> int
+val clear_cells : cells -> unit

@@ -1,7 +1,9 @@
-(** Observability for the KIT-DPE tree: counters, gauges and
-    log2-bucketed latency histograms backed by per-domain sharded cells
-    (merge-on-read, lock-free writes), plus lightweight spans with a
-    ring-buffer sink and a Chrome [trace_event] exporter.
+(** Observability for the KIT-DPE tree: counters, gauges, log2-bucketed
+    latency histograms and DDSketch-style quantile sketches backed by
+    per-domain sharded cells (merge-on-read, lock-free writes), spans
+    with trace causality and a Chrome [trace_event] exporter, rolling
+    time-window aggregation, and an OpenMetrics / versioned-JSON export
+    layer.
 
     The whole subsystem sits behind one atomic guard, {!enabled}: with it
     off (the default), every instrumentation point in the tree performs a
@@ -91,6 +93,53 @@ module Metric : sig
   val reset_histogram : histogram -> unit
 end
 
+module Sketch : sig
+  (** DDSketch-style relative-error quantile sketch: geometric buckets
+      of ratio [(1+alpha)/(1-alpha)], so any reported quantile is within
+      {!alpha} (1%) relative error of the true order statistic.  Same
+      sharded, lock-free, zero-cost-when-disabled discipline as
+      {!Metric}. *)
+
+  type t
+
+  val alpha : float
+  val gamma : float
+  val bucket_count : int
+
+  val create : unit -> t
+  (** An unregistered sketch (tests); production code uses
+      {!Registry.sketch}. *)
+
+  val observe : t -> ?trace_id:int -> ?span_id:int -> int -> unit
+  (** Record one observation (nanoseconds).  A new maximum keeps the
+      supplied span context as the outlier {!exemplar}. *)
+
+  val observe_since : t -> int -> unit
+  (** No-op when [t0 = 0]; see {!Obs.observe_timed} to feed a histogram
+      and a sketch (plus exemplar) from one clock read. *)
+
+  val count : t -> int
+  val sum : t -> int
+  val max_value : t -> int
+
+  type exemplar = { ex_value : int; ex_trace : int; ex_span : int }
+
+  val exemplar : t -> exemplar option
+  (** Span context of the largest observation — links a latency outlier
+      back to its trace. *)
+
+  val quantile : t -> float -> float option
+  (** [quantile s q] for [q] in [0, 1]; [None] when empty. *)
+
+  val sparse : t -> (int * int) list
+  (** Non-empty buckets as [(bucket_index, count)], ascending. *)
+
+  val quantile_of_sparse : (int * int) list -> float -> float option
+  val bucket_of : int -> int
+  val value_of_bucket : int -> float
+  val reset : t -> unit
+end
+
 module Registry : sig
   (** Process-wide [name -> metric] table.  Creation is get-or-create
       under a mutex (cold path); lookups by the instrumented modules
@@ -99,6 +148,8 @@ module Registry : sig
   val counter : string -> Metric.counter
   val gauge : string -> Metric.gauge
   val histogram : string -> Metric.histogram
+
+  val sketch : string -> Sketch.t
   (** Get or create.  @raise Invalid_argument if [name] is already
       registered with a different kind. *)
 
@@ -108,6 +159,17 @@ module Registry : sig
     | Vhistogram of { count : int; sum : int; buckets : (int * int) list }
         (** [buckets] lists only non-empty buckets as
             [(log2_index, count)]. *)
+    | Vsketch of {
+        count : int;
+        sum : int;
+        max : int;
+        p50 : float;
+        p90 : float;
+        p99 : float;
+        exemplar : (int * int * int) option;
+            (** [(value_ns, trace_id, span_id)] of the largest
+                observation. *)
+      }
 
   type sample = { name : string; value : value }
 
@@ -125,14 +187,35 @@ module Registry : sig
 
   val dump_json : unit -> string
   (** The snapshot as one JSON object:
-      [{"<name>": {"type": "counter", "value": n}, ...}]; histograms carry
-      [count], [sum_ns] and a [[log2_bucket, count]] list. *)
+      [{"<name>": {"type": "counter", "value": n}, ...}]; histograms
+      carry [count], [sum_ns] and a [[log2_bucket, count]] list;
+      sketches carry [count]/[sum_ns]/[max_ns], p50/p90/p99 and an
+      optional outlier [exemplar]. *)
 end
 
 module Span : sig
   (** Coarse-grained timed sections collected into a bounded ring buffer
       (completion order; oldest events are overwritten and counted as
-      dropped). *)
+      dropped, also registered as [kitdpe.obs.span.dropped]).  Every
+      span carries a trace id and a parent span id; the current context
+      is domain-local and transplantable across lanes. *)
+
+  type context = { trace : int; span : int }
+
+  val root_context : context
+
+  val current : unit -> context
+  (** The calling domain's context (domain-local read, no allocation). *)
+
+  val new_span_id : unit -> int
+
+  val child_context : context -> context
+  (** Fresh span id under the parent's trace (fresh trace at root). *)
+
+  val with_context : context -> (unit -> 'a) -> 'a
+  (** Run the thunk with the given context installed as current
+      (restored after); a direct call when disabled.  [Parallel.Pool]
+      uses this to parent lane-side spans on the submitting span. *)
 
   type event = {
     name : string;
@@ -140,16 +223,29 @@ module Span : sig
     ts_ns : int;
     dur_ns : int;
     tid : int;  (** domain id *)
+    trace_id : int;
+    span_id : int;
+    parent_id : int;  (** 0 = root *)
   }
 
   val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
   (** Run the thunk and record one event; when disabled this is a direct
       call to the thunk.  The event is recorded even if the thunk
-      raises. *)
+      raises, and is the parent of any span started inside the thunk. *)
 
-  val record : ?cat:string -> name:string -> ts_ns:int -> dur_ns:int -> unit -> unit
-  (** Record a pre-timed event (for call sites that avoid closures on the
-      hot path). *)
+  val record :
+    ?cat:string ->
+    ?trace_id:int ->
+    ?span_id:int ->
+    ?parent_id:int ->
+    name:string ->
+    ts_ns:int ->
+    dur_ns:int ->
+    unit ->
+    unit
+  (** Record a pre-timed event (for call sites that avoid closures on
+      the hot path).  Ids default to a fresh span id parented on the
+      current context. *)
 
   val events : unit -> event list
   val dropped : unit -> int
@@ -159,12 +255,97 @@ module Span : sig
   (** Resize the ring (drops buffered events); default capacity 8192. *)
 end
 
+module Window : sig
+  (** Rolling time-window aggregation: a bounded ring of epoch snapshots
+      (default 60 x 1 s) over the registry, yielding ops/s rates and
+      recent quantiles as deltas against the oldest in-window epoch.
+      [?now] (ns) is injectable everywhere for deterministic tests. *)
+
+  val default_epochs : int
+  val default_epoch_ns : int
+
+  val configure : ?epochs:int -> ?epoch_ns:int -> unit -> unit
+  (** Resize the ring / set the epoch length; drops buffered epochs. *)
+
+  val reset : unit -> unit
+
+  val tick : ?now:int -> unit -> unit
+  (** Rotate if the newest epoch is at least one epoch old; no-op when
+      telemetry is disabled. *)
+
+  val force : ?now:int -> unit -> unit
+  (** Rotate unconditionally. *)
+
+  val rate : ?now:int -> ?window_ns:int -> string -> float option
+  (** Events per second over the window for a counter, histogram or
+      sketch. *)
+
+  val quantile : ?now:int -> ?window_ns:int -> string -> float -> float option
+  (** Recent quantile of a registered sketch (live minus baseline
+      buckets). *)
+
+  val epoch_count : unit -> int
+  val epoch_ns : unit -> int
+  val capacity : unit -> int
+end
+
 module Trace : sig
   (** Chrome [trace_event] exporter: loads in [chrome://tracing] and
       Perfetto.  Spans become "X" (complete) events, one track per
-      domain; the registry snapshot rides along under
-      [otherData.metrics]. *)
+      domain, with trace/span/parent ids under [args]; cross-domain
+      parent edges become flow ("s"/"f") arrows; the registry snapshot
+      rides along under [otherData.metrics]. *)
 
   val to_string : unit -> string
   val write_file : string -> unit
 end
+
+module Json : sig
+  (** Minimal JSON reader for the export layer's own artifacts. *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  val member : string -> t -> t option
+  val to_num : t -> float option
+  val to_str : t -> string option
+  val to_list : t -> t list option
+  val to_obj : t -> (string * t) list option
+  val to_int : t -> int option
+end
+
+module Export : sig
+  (** OpenMetrics text exposition plus the versioned JSON snapshot
+      schema shared by [dpe_cli stats]/[top] and the bench ["metrics"]
+      stamp. *)
+
+  val schema_name : string
+  val schema_version : int
+
+  val refresh_runtime : unit -> unit
+  (** Refresh the [kitdpe.runtime.*] gauges from [Gc.quick_stat]
+      (automatic inside the two renderers). *)
+
+  val openmetrics : unit -> string
+  (** OpenMetrics/Prometheus text format, terminated by [# EOF]. *)
+
+  val snapshot_json : ?now:int -> unit -> string
+  (** [{"schema": "kitdpe.metrics", "schema_version": 1, ...,
+        "window": {..., "rates", "quantiles"}, "metrics": {...}}]. *)
+
+  val diff : old_json:string -> (string, string) result
+  (** Old/new/delta table of the live registry against a saved
+      {!snapshot_json}. *)
+end
+
+val observe_timed :
+  hist:Metric.histogram -> sketch:Sketch.t -> int -> unit
+(** One clock read feeding both the log2 histogram and the quantile
+    sketch, attaching the current span as the sketch's outlier exemplar;
+    no-op on the [t0 = 0] {!time_start} sentinel. *)

@@ -12,6 +12,7 @@ type metric =
   | Counter of Metric.counter
   | Gauge of Metric.gauge
   | Histogram of Metric.histogram
+  | Sketch of Sketch.t
 
 let lock = Mutex.create ()
 let table : (string, metric) Hashtbl.t = Hashtbl.create 64
@@ -35,7 +36,8 @@ let get_or_create name project inject =
           (match v with
            | `C c -> Counter c
            | `G g -> Gauge g
-           | `H h -> Histogram h);
+           | `H h -> Histogram h
+           | `S s -> Sketch s);
         v)
 
 let counter name =
@@ -65,12 +67,30 @@ let histogram name =
   | `H h -> h
   | _ -> assert false
 
+let sketch name =
+  match
+    get_or_create name
+      (function Sketch s -> Some (`S s) | _ -> None)
+      (fun () -> `S (Sketch.create ()))
+  with
+  | `S s -> s
+  | _ -> assert false
+
 (* ---- merge-on-read snapshots ---- *)
 
 type value =
   | Vcounter of int
   | Vgauge of int
   | Vhistogram of { count : int; sum : int; buckets : (int * int) list }
+  | Vsketch of {
+      count : int;
+      sum : int;
+      max : int;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+      exemplar : (int * int * int) option;
+    }
 
 type sample = { name : string; value : value }
 
@@ -84,6 +104,20 @@ let read_metric = function
       |> List.filter (fun (_, n) -> n > 0)
     in
     Vhistogram { count = Metric.hist_count h; sum = Metric.hist_sum h; buckets }
+  | Sketch s ->
+    let sparse = Sketch.sparse s in
+    let q p = Option.value ~default:0.0 (Sketch.quantile_of_sparse sparse p) in
+    Vsketch
+      { count = Sketch.count s;
+        sum = Sketch.sum s;
+        max = Sketch.max_value s;
+        p50 = q 0.5;
+        p90 = q 0.9;
+        p99 = q 0.99;
+        exemplar =
+          Option.map
+            (fun (e : Sketch.exemplar) -> (e.ex_value, e.ex_trace, e.ex_span))
+            (Sketch.exemplar s) }
 
 let snapshot () =
   let items =
@@ -104,8 +138,22 @@ let reset () =
           match m with
           | Counter c -> Metric.reset_counter c
           | Gauge g -> Metric.reset_gauge g
-          | Histogram h -> Metric.reset_histogram h)
+          | Histogram h -> Metric.reset_histogram h
+          | Sketch s -> Sketch.reset s)
         table)
+
+(* typed iteration for in-library consumers ([Window] deltas need the
+   raw sketch buckets, not the rendered snapshot); the callback runs
+   outside the lock so it may itself touch the registry *)
+let iter f =
+  let items =
+    locked (fun () -> Hashtbl.fold (fun name m acc -> (name, m) :: acc) table [])
+  in
+  items
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, m) -> f name m)
+
+let find_metric name = locked (fun () -> Hashtbl.find_opt table name)
 
 (* ---- rendering ---- *)
 
@@ -117,6 +165,13 @@ let pp_value ppf = function
       mean
       (String.concat "; "
          (List.map (fun (b, n) -> Printf.sprintf "<=2^%d:%d" b n) buckets))
+  | Vsketch { count; sum; max; p50; p90; p99; exemplar } ->
+    Format.fprintf ppf "count=%d sum_ns=%d max_ns=%d p50=%.0f p90=%.0f p99=%.0f"
+      count sum max p50 p90 p99;
+    (match exemplar with
+     | Some (v, trace, span) ->
+       Format.fprintf ppf " exemplar=%dns@%d/%d" v trace span
+     | None -> ())
 
 let dump ppf =
   List.iter
@@ -138,6 +193,18 @@ let add_json_value b = function
         Buffer.add_string b (Printf.sprintf "[%d,%d]" bkt n))
       buckets;
     Buffer.add_string b "]}"
+  | Vsketch { count; sum; max; p50; p90; p99; exemplar } ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"type\":\"sketch\",\"count\":%d,\"sum_ns\":%d,\"max_ns\":%d,\"p50_ns\":%.1f,\"p90_ns\":%.1f,\"p99_ns\":%.1f"
+         count sum max p50 p90 p99);
+    (match exemplar with
+     | Some (v, trace, span) ->
+       Buffer.add_string b
+         (Printf.sprintf ",\"exemplar\":{\"value_ns\":%d,\"trace\":%d,\"span\":%d}"
+            v trace span)
+     | None -> ());
+    Buffer.add_char b '}'
 
 let dump_json () =
   let b = Buffer.create 1024 in

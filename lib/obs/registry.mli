@@ -11,8 +11,9 @@
 
 val counter : string -> Metric.counter
 val gauge : string -> Metric.gauge
-
 val histogram : string -> Metric.histogram
+
+val sketch : string -> Sketch.t
 (** Get or create.  @raise Invalid_argument if the name is already
     registered with a different kind. *)
 
@@ -21,6 +22,16 @@ type value =
   | Vgauge of int
   | Vhistogram of { count : int; sum : int; buckets : (int * int) list }
       (** [buckets] lists only non-empty buckets as [(log2_index, count)]. *)
+  | Vsketch of {
+      count : int;
+      sum : int;
+      max : int;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+      exemplar : (int * int * int) option;
+          (** [(value_ns, trace_id, span_id)] of the largest observation. *)
+    }
 
 type sample = { name : string; value : value }
 
@@ -38,4 +49,23 @@ val dump : Format.formatter -> unit
 val dump_json : unit -> string
 (** The snapshot as one JSON object:
     [{"<name>": {"type": "counter", "value": n}, ...}]; histograms carry
-    [count], [sum_ns] and a [[log2_bucket, count]] list. *)
+    [count], [sum_ns] and a [[log2_bucket, count]] list; sketches carry
+    [count]/[sum_ns]/[max_ns], [p50_ns]/[p90_ns]/[p99_ns] and an
+    optional outlier [exemplar]. *)
+
+(** {2 In-library raw access}
+
+    [Window] and [Export] need the live metric objects (e.g. raw sketch
+    buckets for windowed deltas), not the rendered snapshot.  Not
+    re-exported by the [Obs] facade. *)
+
+type metric =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Metric.histogram
+  | Sketch of Sketch.t
+
+val iter : (string -> metric -> unit) -> unit
+(** Iterate name-sorted; the callback runs outside the registry lock. *)
+
+val find_metric : string -> metric option

@@ -4,7 +4,38 @@
    batch — not per-cell work), so a mutex-protected ring is plenty: the
    lock is taken once per completed span, never inside element loops.
    When the subsystem is disabled, [with_span] is a direct tail call to
-   the thunk and [record] is a no-op — nothing is allocated. *)
+   the thunk and [record] is a no-op — nothing is allocated.
+
+   Causality: every span carries a trace id (shared by a whole request)
+   and a parent span id.  The current context lives in domain-local
+   storage; [with_span] pushes itself as the parent for its dynamic
+   extent, and [with_context] transplants a captured context onto
+   another domain — that is how [Parallel.Pool] makes lane-side spans
+   children of the submitting span.  Ids are process-unique positive
+   ints from one atomic counter; 0 means "none". *)
+
+type context = { trace : int; span : int }
+
+let root_context = { trace = 0; span = 0 }
+
+(* domain-local: lanes inherit nothing implicitly; the pool transplants
+   the submitter's context explicitly via [with_context] *)
+let ctx_key = Domain.DLS.new_key (fun () -> root_context)
+let current () = Domain.DLS.get ctx_key
+let next_span_id = Atomic.make 1
+let new_span_id () = Atomic.fetch_and_add next_span_id 1
+
+let child_context parent =
+  let id = new_span_id () in
+  { trace = (if parent.trace = 0 then id else parent.trace); span = id }
+
+let with_context ctx f =
+  if not (Control.is_on ()) then f ()
+  else begin
+    let saved = Domain.DLS.get ctx_key in
+    Domain.DLS.set ctx_key ctx;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set ctx_key saved) f
+  end
 
 type event = {
   name : string;
@@ -12,6 +43,9 @@ type event = {
   ts_ns : int; (* span start, wall-clock ns *)
   dur_ns : int;
   tid : int; (* domain id *)
+  trace_id : int;
+  span_id : int;
+  parent_id : int; (* 0 = root *)
 }
 
 let default_capacity = 8192
@@ -24,7 +58,9 @@ type ring = {
   mutable dropped : int; (* events overwritten after wrap-around *)
 }
 
-let dummy = { name = ""; cat = ""; ts_ns = 0; dur_ns = 0; tid = 0 }
+let dummy =
+  { name = ""; cat = ""; ts_ns = 0; dur_ns = 0; tid = 0;
+    trace_id = 0; span_id = 0; parent_id = 0 }
 
 let ring =
   { lock = Mutex.create ();
@@ -32,6 +68,10 @@ let ring =
     len = 0;
     next = 0;
     dropped = 0 }
+
+(* ring overwrite loss as a first-class metric, so `dpe_cli stats` and
+   the OpenMetrics exposition surface it without a trace export *)
+let m_dropped = Registry.counter "kitdpe.obs.span.dropped"
 
 let set_capacity n =
   Mutex.lock ring.lock;
@@ -41,12 +81,31 @@ let set_capacity n =
   ring.dropped <- 0;
   Mutex.unlock ring.lock
 
-let record ?(cat = "kitdpe") ~name ~ts_ns ~dur_ns () =
+let record ?(cat = "kitdpe") ?trace_id ?span_id ?parent_id ~name ~ts_ns ~dur_ns
+    () =
   if Control.is_on () then begin
-    let e = { name; cat; ts_ns; dur_ns; tid = (Domain.self () :> int) } in
+    (* post-hoc call sites (timed without a closure) default to a fresh
+       span id parented on whatever context is current *)
+    let ctx = Domain.DLS.get ctx_key in
+    let span_id =
+      match span_id with Some id -> id | None -> new_span_id ()
+    in
+    let trace_id =
+      match trace_id with
+      | Some t -> t
+      | None -> if ctx.trace = 0 then span_id else ctx.trace
+    in
+    let parent_id = match parent_id with Some p -> p | None -> ctx.span in
+    let e =
+      { name; cat; ts_ns; dur_ns; tid = (Domain.self () :> int);
+        trace_id; span_id; parent_id }
+    in
     Mutex.lock ring.lock;
     let capacity = Array.length ring.buf in
-    if ring.len = capacity then ring.dropped <- ring.dropped + 1
+    if ring.len = capacity then begin
+      ring.dropped <- ring.dropped + 1;
+      Metric.incr m_dropped
+    end
     else ring.len <- ring.len + 1;
     ring.buf.(ring.next) <- e;
     ring.next <- (ring.next + 1) mod capacity;
@@ -56,10 +115,18 @@ let record ?(cat = "kitdpe") ~name ~ts_ns ~dur_ns () =
 let with_span ?cat name f =
   if not (Control.is_on ()) then f ()
   else begin
+    let parent = Domain.DLS.get ctx_key in
+    let id = new_span_id () in
+    let trace = if parent.trace = 0 then id else parent.trace in
+    Domain.DLS.set ctx_key { trace; span = id };
     let t0 = Control.now_ns () in
     Fun.protect
       ~finally:(fun () ->
-        record ?cat ~name ~ts_ns:t0 ~dur_ns:(Control.now_ns () - t0) ())
+        Domain.DLS.set ctx_key parent;
+        record ?cat ~trace_id:trace ~span_id:id ~parent_id:parent.span ~name
+          ~ts_ns:t0
+          ~dur_ns:(Control.now_ns () - t0)
+          ())
       f
   end
 

@@ -1,7 +1,35 @@
 (** Coarse-grained timed sections collected into a bounded ring buffer
     (completion order; oldest events are overwritten and counted as
-    dropped).  Spans are per-batch, not per-cell, so a mutex-guarded
-    ring is plenty: the lock is taken once per completed span. *)
+    dropped, both in the ring and as the registered counter
+    [kitdpe.obs.span.dropped]).  Spans are per-batch, not per-cell, so a
+    mutex-guarded ring is plenty: the lock is taken once per completed
+    span.
+
+    Every span carries a trace id and a parent span id.  The current
+    context lives in domain-local storage: {!with_span} pushes itself as
+    parent for its dynamic extent, and {!with_context} transplants a
+    captured context onto another domain (how [Parallel.Pool] parents
+    lane-side spans on the submitting span).  Ids are process-unique
+    positive ints; [0] means "none". *)
+
+type context = { trace : int; span : int }
+
+val root_context : context
+(** [{trace = 0; span = 0}] — no enclosing span. *)
+
+val current : unit -> context
+(** The calling domain's context (domain-local read, no allocation). *)
+
+val new_span_id : unit -> int
+
+val child_context : context -> context
+(** Fresh span id under the parent's trace (a fresh trace when the
+    parent is {!root_context}) — pre-allocates the identity of a span
+    whose body runs elsewhere, e.g. a pool batch. *)
+
+val with_context : context -> (unit -> 'a) -> 'a
+(** Run the thunk with the given context installed as current (restored
+    after); a direct call when disabled. *)
 
 type event = {
   name : string;
@@ -9,6 +37,9 @@ type event = {
   ts_ns : int;  (** span start, wall-clock ns *)
   dur_ns : int;
   tid : int;  (** domain id *)
+  trace_id : int;
+  span_id : int;
+  parent_id : int;  (** 0 = root *)
 }
 
 val default_capacity : int
@@ -16,12 +47,23 @@ val default_capacity : int
 
 val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
 (** Run the thunk and record one event; when disabled this is a direct
-    call to the thunk.  The event is recorded even if the thunk
-    raises. *)
+    call to the thunk.  The event is recorded even if the thunk raises,
+    and is the parent of any span started inside the thunk (same domain,
+    or another lane via {!with_context}). *)
 
-val record : ?cat:string -> name:string -> ts_ns:int -> dur_ns:int -> unit -> unit
+val record :
+  ?cat:string ->
+  ?trace_id:int ->
+  ?span_id:int ->
+  ?parent_id:int ->
+  name:string ->
+  ts_ns:int ->
+  dur_ns:int ->
+  unit ->
+  unit
 (** Record a pre-timed event (for call sites that avoid closures on the
-    hot path). *)
+    hot path).  Ids default to a fresh span id parented on the current
+    context. *)
 
 val events : unit -> event list
 (** Oldest first. *)

@@ -3,7 +3,14 @@
    Emits the span ring as "X" (complete) events with microsecond
    timestamps, one track per domain id, plus process/thread metadata
    events, so the file loads directly in chrome://tracing and Perfetto
-   (ui.perfetto.dev -> Open trace file). *)
+   (ui.perfetto.dev -> Open trace file).  Each slice carries its
+   trace/span/parent ids under "args".
+
+   Causality arrows: for every event whose parent completed on a
+   different domain (a pool task submitted from another lane), a flow
+   start ("s") is emitted on the parent's track and a flow finish
+   ("f", bp:"e") on the child's, both keyed by the child's span id —
+   Perfetto draws these as request -> lane-task arrows. *)
 
 let add_event b (e : Span.event) =
   Buffer.add_string b "{\"name\":";
@@ -11,10 +18,11 @@ let add_event b (e : Span.event) =
   Buffer.add_string b ",\"cat\":";
   Control.add_json_string b e.Span.cat;
   Buffer.add_string b
-    (Printf.sprintf ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}"
+    (Printf.sprintf
+       ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"trace\":%d,\"span\":%d,\"parent\":%d}}"
        (float_of_int e.Span.ts_ns /. 1e3)
        (float_of_int e.Span.dur_ns /. 1e3)
-       e.Span.tid)
+       e.Span.tid e.Span.trace_id e.Span.span_id e.Span.parent_id)
 
 let add_metadata b ~name ~tid ~value =
   Buffer.add_string b "{\"name\":";
@@ -23,11 +31,24 @@ let add_metadata b ~name ~tid ~value =
   Control.add_json_string b value;
   Buffer.add_string b "}}"
 
+let add_flow b ~ph ~id ~tid ~ts_ns ~extra =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"name\":\"submit\",\"cat\":\"flow\",\"ph\":\"%s\",\"id\":%d,\"pid\":1,\"tid\":%d,\"ts\":%.3f%s}"
+       ph id tid
+       (float_of_int ts_ns /. 1e3)
+       extra)
+
 let to_string () =
   let events = Span.events () in
   let tids =
     List.sort_uniq compare (List.map (fun e -> e.Span.tid) events)
   in
+  let by_span = Hashtbl.create (List.length events) in
+  List.iter
+    (fun (e : Span.event) ->
+      if e.Span.span_id <> 0 then Hashtbl.replace by_span e.Span.span_id e)
+    events;
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   add_metadata b ~name:"process_name" ~tid:0 ~value:"kitdpe";
@@ -41,6 +62,24 @@ let to_string () =
     (fun e ->
       Buffer.add_char b ',';
       add_event b e)
+    events;
+  (* cross-domain parent edges become flow arrows; the start point is
+     clamped into the parent slice so renderers anchor it correctly *)
+  List.iter
+    (fun (e : Span.event) ->
+      if e.Span.parent_id <> 0 then
+        match Hashtbl.find_opt by_span e.Span.parent_id with
+        | Some p when p.Span.tid <> e.Span.tid ->
+          let anchor =
+            min (max e.Span.ts_ns p.Span.ts_ns) (p.Span.ts_ns + p.Span.dur_ns)
+          in
+          Buffer.add_char b ',';
+          add_flow b ~ph:"s" ~id:e.Span.span_id ~tid:p.Span.tid ~ts_ns:anchor
+            ~extra:"";
+          Buffer.add_char b ',';
+          add_flow b ~ph:"f" ~id:e.Span.span_id ~tid:e.Span.tid
+            ~ts_ns:e.Span.ts_ns ~extra:",\"bp\":\"e\""
+        | _ -> ())
     events;
   Buffer.add_string b "],\"otherData\":{\"dropped_spans\":";
   Buffer.add_string b (string_of_int (Span.dropped ()));

@@ -1,7 +1,10 @@
+(* each queued job carries the span context of its submitting batch, so
+   a worker lane can parent the task's spans on the submitter no matter
+   which domain executes it *)
 type t = {
   lanes : int;
   mutex : Mutex.t;
-  pending : (unit -> unit) Queue.t;
+  pending : (Obs.Span.context * (unit -> unit)) Queue.t;
   nonempty : Condition.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
@@ -21,6 +24,7 @@ let lane_key = Domain.DLS.new_key (fun () -> 0)
 let m_batches = Obs.Registry.counter "kitdpe.parallel.pool.batches"
 let m_tasks = Obs.Registry.counter "kitdpe.parallel.pool.tasks"
 let m_task_ns = Obs.Registry.histogram "kitdpe.parallel.pool.task_ns"
+let m_task = Obs.Registry.sketch "kitdpe.parallel.pool.task"
 
 let lane_counter name lane =
   Obs.Registry.counter
@@ -36,18 +40,32 @@ let lane_crashes () = Atomic.get crashes
 
 (* tasks are stripe-coarse (a handful per lane per batch), so the
    registry lookup on the enabled path is noise; the disabled path is a
-   single atomic load and a direct call *)
-let run_job job =
+   single atomic load and a direct call.
+
+   [?ctx] is the submitting batch's span context (queued jobs); without
+   it (sequential paths, single-task batches) the caller's own context
+   is the parent — either way the "pool.task" span and everything opened
+   inside the job land in the submitter's trace. *)
+let run_job ?ctx job =
   if not (Obs.is_enabled ()) then job ()
   else begin
     let lane = Domain.DLS.get lane_key in
+    let submit_ctx =
+      match ctx with Some c -> c | None -> Obs.Span.current ()
+    in
+    let task_ctx = Obs.Span.child_context submit_ctx in
     let t0 = Obs.now_ns () in
-    job ();
+    Obs.Span.with_context task_ctx job;
     let dt = Obs.now_ns () - t0 in
     Obs.Metric.incr m_tasks;
     Obs.Metric.observe m_task_ns dt;
+    Obs.Sketch.observe m_task ~trace_id:task_ctx.Obs.Span.trace
+      ~span_id:task_ctx.Obs.Span.span dt;
     Obs.Metric.incr (lane_counter "tasks" lane);
-    Obs.Metric.add (lane_counter "busy_ns" lane) dt
+    Obs.Metric.add (lane_counter "busy_ns" lane) dt;
+    Obs.Span.record ~cat:"parallel" ~trace_id:task_ctx.Obs.Span.trace
+      ~span_id:task_ctx.Obs.Span.span ~parent_id:submit_ctx.Obs.Span.span
+      ~name:"pool.task" ~ts_ns:t0 ~dur_ns:dt ()
   end
 
 let default_domains () =
@@ -82,8 +100,8 @@ let rec worker_loop t =
   in
   match next () with
   | None -> ()
-  | Some job ->
-    run_job job;
+  | Some (ctx, job) ->
+    run_job ~ctx job;
     worker_loop t
 
 (* Lane supervisor: every queued job is wrapped by its batch and cannot
@@ -143,7 +161,7 @@ let global () =
   Mutex.unlock global_mutex;
   p
 
-let run_seq tasks = List.iter run_job tasks
+let run_seq tasks = List.iter (fun f -> run_job f) tasks
 
 let run_tasks t tasks =
   match tasks with
@@ -152,6 +170,13 @@ let run_tasks t tasks =
   | _ when t.lanes <= 1 || t.closed -> run_seq tasks
   | _ ->
     let batch_t0 = Obs.time_start () in
+    (* the batch is a span of its own: tasks parent on it (carried with
+       each queued job), and it parents on whatever span submitted the
+       batch — that is the request -> lane-task edge the trace shows *)
+    let submit_ctx = Obs.Span.current () in
+    let batch_ctx =
+      if batch_t0 > 0 then Obs.Span.child_context submit_ctx else submit_ctx
+    in
     let remaining = ref (List.length tasks) in
     let first_exn = ref None in
     let batch_done = Condition.create () in
@@ -167,16 +192,16 @@ let run_tasks t tasks =
       Mutex.unlock t.mutex
     in
     Mutex.lock t.mutex;
-    List.iter (fun f -> Queue.add (wrap f) t.pending) tasks;
+    List.iter (fun f -> Queue.add (batch_ctx, wrap f) t.pending) tasks;
     Condition.broadcast t.nonempty;
     (* The caller is a lane too: drain jobs (from this or any concurrent
        batch — that is what makes nested calls deadlock-free) until this
        batch is complete. *)
     let rec help () =
       match Queue.take_opt t.pending with
-      | Some job ->
+      | Some (ctx, job) ->
         Mutex.unlock t.mutex;
-        run_job job;
+        run_job ~ctx job;
         Mutex.lock t.mutex;
         if !remaining > 0 then help ()
       | None -> if !remaining > 0 then begin
@@ -188,7 +213,9 @@ let run_tasks t tasks =
     Mutex.unlock t.mutex;
     if batch_t0 > 0 then begin
       Obs.Metric.incr m_batches;
-      Obs.Span.record ~cat:"parallel" ~name:"pool.batch" ~ts_ns:batch_t0
+      Obs.Span.record ~cat:"parallel" ~trace_id:batch_ctx.Obs.Span.trace
+        ~span_id:batch_ctx.Obs.Span.span ~parent_id:submit_ctx.Obs.Span.span
+        ~name:"pool.batch" ~ts_ns:batch_t0
         ~dur_ns:(Obs.now_ns () - batch_t0) ()
     end;
     (match !first_exn with Some e -> raise e | None -> ())

@@ -49,7 +49,15 @@ val global : unit -> t
 val run_tasks : t -> (unit -> unit) list -> unit
 (** Run the thunks to completion, across all lanes.  The caller executes
     tasks too.  If any task raises, [run_tasks] still waits for the whole
-    batch and then re-raises the first exception observed. *)
+    batch and then re-raises the first exception observed.
+
+    Trace causality (telemetry on): the batch records a ["pool.batch"]
+    span parented on the submitting span, each task a ["pool.task"] span
+    parented on the batch, and the submitter's [Obs.Span] context is
+    transplanted onto whichever lane runs a task — so spans opened inside
+    a task carry the submitting request's trace id regardless of pool
+    size.  [for_range]/[map_range] and the [_r] variants inherit this by
+    construction. *)
 
 val for_range : t -> int -> (int -> unit) -> unit
 (** [for_range p n f] calls [f i] exactly once for every [0 <= i < n],

@@ -1,0 +1,4 @@
+(* OBS02 fixture: ad-hoc clock reads outside lib/obs/control.ml *)
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let cpu_seconds () = Sys.time ()

@@ -1,0 +1,2 @@
+val now_ns : unit -> int
+val cpu_seconds : unit -> float

@@ -72,6 +72,11 @@ let test_err01 () =
     [ ("ERR01", 2); ("ERR01", 4) ];
   check_errors_nonzero "lib/fault/bad_err01.ml"
 
+let test_obs02 () =
+  check_findings "OBS02 fixture" "lib/obs/bad_obs02.ml"
+    [ ("OBS02", 2); ("OBS02", 4) ];
+  check_errors_nonzero "lib/obs/bad_obs02.ml"
+
 let test_perf01 () =
   check_findings "PERF01 fixture" "lib/mining/bad_perf01.ml"
     [ ("PERF01", 2); ("PERF01", 4) ];
@@ -100,7 +105,8 @@ let test_whole_fixture_tree () =
   Alcotest.(check int) "ERR01 count" 2 (by_rule "ERR01");
   Alcotest.(check int) "MLI01 count" 1 (by_rule "MLI01");
   Alcotest.(check int) "PERF01 count" 2 (by_rule "PERF01");
-  Alcotest.(check int) "total" 17 (List.length r.Engine.findings)
+  Alcotest.(check int) "OBS02 count" 2 (by_rule "OBS02");
+  Alcotest.(check int) "total" 19 (List.length r.Engine.findings)
 
 (* ---- the baseline mechanism ---- *)
 
@@ -154,6 +160,7 @@ let () =
           Alcotest.test_case "ERR01" `Quick test_err01;
           Alcotest.test_case "MLI01" `Quick test_mli01;
           Alcotest.test_case "PERF01" `Quick test_perf01;
+          Alcotest.test_case "OBS02" `Quick test_obs02;
           Alcotest.test_case "clean file" `Quick test_good_clean;
           Alcotest.test_case "suppression" `Quick test_suppression;
           Alcotest.test_case "whole tree" `Quick test_whole_fixture_tree;

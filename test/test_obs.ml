@@ -60,7 +60,15 @@ let test_disabled_noop () =
       Obs.Span.clear ();
       let r = Obs.Span.with_span "noop" (fun () -> 17) in
       Alcotest.(check int) "with_span passthrough" 17 r;
-      Alcotest.(check int) "no events" 0 (List.length (Obs.Span.events ())))
+      Alcotest.(check int) "no events" 0 (List.length (Obs.Span.events ()));
+      let sk = Obs.Sketch.create () in
+      Obs.Sketch.observe sk 999;
+      Obs.Sketch.observe_since sk 0;
+      Alcotest.(check int) "sketch untouched" 0 (Obs.Sketch.count sk);
+      Alcotest.(check int) "sketch sum untouched" 0 (Obs.Sketch.sum sk);
+      Obs.Window.reset ();
+      Obs.Window.tick ();
+      Alcotest.(check int) "window tick no-op" 0 (Obs.Window.epoch_count ()))
 
 (* ---- histograms ---- *)
 
@@ -165,6 +173,10 @@ let test_span_ring_overflow () =
           let evs = Obs.Span.events () in
           Alcotest.(check int) "ring keeps the newest 4" 4 (List.length evs);
           Alcotest.(check int) "6 dropped" 6 (Obs.Span.dropped ());
+          (match Obs.Registry.find "kitdpe.obs.span.dropped" with
+           | Some (Obs.Registry.Vcounter n) ->
+             Alcotest.(check int) "dropped counter registered" 6 n
+           | _ -> Alcotest.fail "kitdpe.obs.span.dropped missing");
           Alcotest.(check (list string)) "oldest-first order"
             [ "s7"; "s8"; "s9"; "s10" ]
             (List.map (fun e -> e.Obs.Span.name) evs)))
@@ -349,6 +361,327 @@ let test_registry_dump_json () =
            "Obs.Registry: test.obs.dump_c already registered with another kind")
         (fun () -> ignore (Obs.Registry.histogram "test.obs.dump_c")))
 
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ---- quantile sketches (PR 7) ---- *)
+
+(* exact reference quantile with the same ceil-rank convention the
+   sketch uses: rank = clamp(ceil(q*n), 1, n), 1-indexed *)
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  let rank = max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n)))) in
+  sorted.(rank - 1)
+
+let test_sketch_accuracy () =
+  with_obs (fun () ->
+      let check_dist label gen n =
+        let sk = Obs.Sketch.create () in
+        let vals = Array.init n (fun _ -> gen ()) in
+        Array.iter (fun v -> Obs.Sketch.observe sk v) vals;
+        let sorted = Array.copy vals in
+        Array.sort compare sorted;
+        Alcotest.(check int) (label ^ ": count") n (Obs.Sketch.count sk);
+        Alcotest.(check int)
+          (label ^ ": sum")
+          (Array.fold_left ( + ) 0 vals)
+          (Obs.Sketch.sum sk);
+        List.iter
+          (fun q ->
+            match Obs.Sketch.quantile sk q with
+            | None -> Alcotest.fail (label ^ ": quantile returned None")
+            | Some est ->
+              let ex = float_of_int (exact_quantile sorted q) in
+              let err = Float.abs (est -. ex) /. Float.max ex 1.0 in
+              (* DDSketch guarantees alpha = 1% relative error per
+                 observation; 2.5% leaves headroom for the rank-vs-value
+                 convention at bucket edges *)
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: q=%.2f rel err %.4f within bound" label
+                   q err)
+                true (err <= 0.025))
+          [ 0.5; 0.9; 0.95; 0.99 ]
+      in
+      let rng = Crypto.Drbg.create ~seed:"obs-sketch-uniform" in
+      check_dist "uniform"
+        (fun () -> 1 + Crypto.Drbg.uniform_int rng 1_000_000)
+        4000;
+      let rng2 = Crypto.Drbg.create ~seed:"obs-sketch-tail" in
+      (* log-uniform over ~6 decades: exercises the geometric buckets far
+         from each other, where a linear histogram would collapse *)
+      check_dist "heavy-tail"
+        (fun () ->
+          1 + int_of_float (Float.exp (Crypto.Drbg.uniform_float rng2 *. 14.0)))
+        4000)
+
+let test_sketch_shard_merge () =
+  with_obs (fun () ->
+      let sk = Obs.Registry.sketch "test.obs.sk_merge" in
+      let n = 8_000 in
+      with_pool ~domains:4 (fun p ->
+          Parallel.Pool.for_range p n (fun i ->
+              Obs.Sketch.observe sk (1 + (i land 1023))));
+      let expected_sum = ref 0 in
+      for i = 0 to n - 1 do
+        expected_sum := !expected_sum + 1 + (i land 1023)
+      done;
+      Alcotest.(check int) "count merged exactly" n (Obs.Sketch.count sk);
+      Alcotest.(check int) "sum merged exactly" !expected_sum
+        (Obs.Sketch.sum sk);
+      Alcotest.(check int) "max merged" 1024 (Obs.Sketch.max_value sk);
+      match Obs.Sketch.quantile sk 1.0 with
+      | Some v ->
+        Alcotest.(check bool) "top quantile within alpha of max" true
+          (Float.abs (v -. 1024.0) /. 1024.0 <= Obs.Sketch.alpha +. 0.001)
+      | None -> Alcotest.fail "merged sketch has no quantile")
+
+let test_sketch_exemplar () =
+  with_obs (fun () ->
+      let sk = Obs.Sketch.create () in
+      Obs.Sketch.observe sk ~trace_id:7 ~span_id:8 500;
+      Obs.Sketch.observe sk ~trace_id:9 ~span_id:10 9_000;
+      Obs.Sketch.observe sk ~trace_id:11 ~span_id:12 800;
+      Alcotest.(check int) "max tracked" 9_000 (Obs.Sketch.max_value sk);
+      match Obs.Sketch.exemplar sk with
+      | Some e ->
+        Alcotest.(check int) "exemplar value" 9_000 e.Obs.Sketch.ex_value;
+        Alcotest.(check int) "exemplar trace" 9 e.Obs.Sketch.ex_trace;
+        Alcotest.(check int) "exemplar span" 10 e.Obs.Sketch.ex_span
+      | None -> Alcotest.fail "no exemplar on the largest observation")
+
+(* ---- rolling windows ---- *)
+
+let test_window () =
+  with_obs (fun () ->
+      Obs.Window.configure ~epochs:2 ~epoch_ns:1_000_000_000 ();
+      Fun.protect
+        ~finally:(fun () -> Obs.Window.configure ())
+        (fun () ->
+          let c = Obs.Registry.counter "test.obs.win_c" in
+          let sk = Obs.Registry.sketch "test.obs.win_sk" in
+          (* one old outlier before the baseline epoch *)
+          Obs.Sketch.observe sk 1_000_000;
+          Obs.Window.force ~now:1_000_000_000 ();
+          Obs.Metric.add c 60;
+          for _ = 1 to 20 do
+            Obs.Sketch.observe sk 1_000
+          done;
+          (match Obs.Window.rate ~now:3_000_000_000 "test.obs.win_c" with
+           | Some r -> Alcotest.(check (float 0.001)) "60 in 2s = 30/s" 30.0 r
+           | None -> Alcotest.fail "counter has no windowed rate");
+          (match Obs.Window.quantile ~now:2_000_000_000 "test.obs.win_sk" 0.99 with
+           | Some v ->
+             Alcotest.(check bool) "recent p99 excludes the old outlier" true
+               (v > 900.0 && v < 2_000.0)
+           | None -> Alcotest.fail "sketch has no windowed quantile");
+          Obs.Metric.set_gauge (Obs.Registry.gauge "test.obs.win_g") 5;
+          Alcotest.(check bool) "gauges are not rated" true
+            (Obs.Window.rate ~now:2_000_000_000 "test.obs.win_g" = None);
+          (* ring expiry: only [epochs] snapshots retained *)
+          Obs.Window.force ~now:3_000_000_000 ();
+          Obs.Window.force ~now:4_000_000_000 ();
+          Obs.Window.force ~now:5_000_000_000 ();
+          Alcotest.(check int) "ring bounded at capacity" 2
+            (Obs.Window.epoch_count ());
+          (* tick is debounced to one rotation per epoch *)
+          Obs.Window.reset ();
+          Obs.Window.tick ~now:6_000_000_000 ();
+          Obs.Window.tick ~now:6_100_000_000 ();
+          Alcotest.(check int) "tick within an epoch is a no-op" 1
+            (Obs.Window.epoch_count ());
+          Obs.Window.tick ~now:7_100_000_000 ();
+          Alcotest.(check int) "tick after an epoch rotates" 2
+            (Obs.Window.epoch_count ())))
+
+(* ---- OpenMetrics exposition ---- *)
+
+(* promtool-style format check: every line is a '# TYPE <name> <kind>'
+   comment or a '<name>[{labels}] <value>' sample whose family was
+   declared, names match the OpenMetrics charset, and the exposition
+   ends with '# EOF' *)
+let check_openmetrics text =
+  let fail fmt = Printf.ksprintf (fun s -> Alcotest.fail s) fmt in
+  let is_name_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  let valid_name s =
+    s <> ""
+    && (not (s.[0] >= '0' && s.[0] <= '9'))
+    && String.for_all is_name_char s
+  in
+  let strip_suffix s =
+    List.fold_left
+      (fun acc suf ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let sl = String.length s and fl = String.length suf in
+          if sl > fl && String.sub s (sl - fl) fl = suf then
+            Some (String.sub s 0 (sl - fl))
+          else None)
+      None
+      [ "_total"; "_sum"; "_count"; "_bucket" ]
+    |> Option.value ~default:s
+  in
+  let declared = Hashtbl.create 32 in
+  let lines = String.split_on_char '\n' text in
+  let rec go seen_eof = function
+    | [] -> if not seen_eof then fail "missing # EOF terminator"
+    | "" :: rest -> go seen_eof rest
+    | line :: rest ->
+      if seen_eof then fail "content after # EOF: %s" line;
+      if line = "# EOF" then go true rest
+      else if String.length line > 0 && line.[0] = '#' then begin
+        (match String.split_on_char ' ' line with
+         | [ "#"; "TYPE"; name; kind ] ->
+           if not (valid_name name) then fail "bad family name %s" name;
+           if not (List.mem kind [ "counter"; "gauge"; "histogram"; "summary" ])
+           then fail "bad kind %s" kind;
+           Hashtbl.replace declared name kind
+         | "#" :: "HELP" :: _ -> ()
+         | _ -> fail "bad comment line: %s" line);
+        go seen_eof rest
+      end
+      else begin
+        let metric, value =
+          match String.index_opt line '{' with
+          | Some i ->
+            let close =
+              match String.rindex_opt line '}' with
+              | Some c when c > i -> c
+              | _ -> fail "unbalanced labels: %s" line
+            in
+            ( String.sub line 0 i,
+              String.trim
+                (String.sub line (close + 1) (String.length line - close - 1))
+            )
+          | None ->
+            (match String.index_opt line ' ' with
+             | Some i ->
+               ( String.sub line 0 i,
+                 String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1)) )
+             | None -> fail "sample without value: %s" line)
+        in
+        if not (valid_name metric) then fail "bad metric name %s" metric;
+        if not (Hashtbl.mem declared (strip_suffix metric)) then
+          fail "sample %s has no # TYPE declaration" metric;
+        (match float_of_string_opt value with
+         | Some _ -> ()
+         | None -> if value <> "+Inf" then fail "bad sample value: %s" value);
+        go seen_eof rest
+      end
+  in
+  go false lines
+
+let test_openmetrics_format () =
+  with_obs (fun () ->
+      Obs.Metric.incr (Obs.Registry.counter "test.obs.om_c");
+      Obs.Metric.observe (Obs.Registry.histogram "test.obs.om_h_ns") 300;
+      Obs.Sketch.observe (Obs.Registry.sketch "test.obs.om_sk") 500;
+      Obs.Metric.set_gauge (Obs.Registry.gauge "test.obs.om_g") 2;
+      let text = Obs.Export.openmetrics () in
+      check_openmetrics text;
+      Alcotest.(check bool) "counter rendered as _total" true
+        (contains text "test_obs_om_c_total 1");
+      Alcotest.(check bool) "histogram has +Inf bucket" true
+        (contains text "le=\"+Inf\"");
+      Alcotest.(check bool) "sketch rendered as summary quantiles" true
+        (contains text "test_obs_om_sk{quantile=\"0.99\"}");
+      Alcotest.(check bool) "runtime gauges refreshed" true
+        (contains text "kitdpe_runtime_minor_collections"))
+
+(* ---- versioned snapshot + diff ---- *)
+
+let test_snapshot_and_diff () =
+  with_obs (fun () ->
+      let c = Obs.Registry.counter "test.obs.snap_c" in
+      Obs.Metric.add c 5;
+      let old = Obs.Export.snapshot_json () in
+      ignore (check_json "snapshot" old);
+      Alcotest.(check bool) "schema name" true
+        (contains old "\"schema\":\"kitdpe.metrics\"");
+      Alcotest.(check bool) "schema version" true
+        (contains old "\"schema_version\":1");
+      Alcotest.(check bool) "window section" true (contains old "\"window\"");
+      Alcotest.(check bool) "span section" true (contains old "\"spans\"");
+      Obs.Metric.add c 3;
+      (match Obs.Export.diff ~old_json:old with
+       | Ok table ->
+         Alcotest.(check bool) "diff lists the changed counter" true
+           (contains table "test.obs.snap_c");
+         Alcotest.(check bool) "diff shows the delta" true
+           (contains table "+3")
+       | Error e -> Alcotest.fail ("diff rejected its own snapshot: " ^ e));
+      match Obs.Export.diff ~old_json:"{ not json" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "diff accepted garbage")
+
+(* ---- cross-lane span parenting is pool-size invariant ---- *)
+
+(* The substrate spans (cat "parallel": pool.task / pool.batch)
+   legitimately vary with the pool size; the *workload* causality — each
+   user span's nearest non-parallel ancestor and its trace membership —
+   must not.  Compare that projection across 1, 2 and 4 domains. *)
+let test_parenting_invariance () =
+  let edges_with domains =
+    with_obs (fun () ->
+        with_pool ~domains (fun p ->
+            Obs.Span.with_span ~cat:"test" "req" (fun () ->
+                Parallel.Pool.for_range p 48 (fun i ->
+                    Obs.Span.with_span ~cat:"test"
+                      (Printf.sprintf "work%02d" i)
+                      (fun () -> ()))));
+        let evs = Obs.Span.events () in
+        let by_span = Hashtbl.create 128 in
+        List.iter (fun e -> Hashtbl.replace by_span e.Obs.Span.span_id e) evs;
+        let rec anchor pid =
+          if pid = 0 then "root"
+          else
+            match Hashtbl.find_opt by_span pid with
+            | None -> "missing-parent"
+            | Some e ->
+              if String.equal e.Obs.Span.cat "parallel" then
+                anchor e.Obs.Span.parent_id
+              else e.Obs.Span.name
+        in
+        let req =
+          match
+            List.find_opt (fun e -> String.equal e.Obs.Span.name "req") evs
+          with
+          | Some e -> e
+          | None -> Alcotest.fail "req span missing"
+        in
+        List.filter_map
+          (fun e ->
+            if String.equal e.Obs.Span.cat "parallel" then None
+            else
+              Some
+                ( e.Obs.Span.name,
+                  anchor e.Obs.Span.parent_id,
+                  e.Obs.Span.trace_id = req.Obs.Span.trace_id ))
+          evs
+        |> List.sort compare)
+  in
+  let e1 = edges_with 1 in
+  let e2 = edges_with 2 in
+  let e4 = edges_with 4 in
+  Alcotest.(check int) "req + 48 work spans" 49 (List.length e1);
+  Alcotest.(check bool) "edges equal under 1 vs 2 domains" true (e1 = e2);
+  Alcotest.(check bool) "edges equal under 1 vs 4 domains" true (e1 = e4);
+  List.iter
+    (fun (name, anchor, same_trace) ->
+      if not (String.equal name "req") then begin
+        Alcotest.(check string) (name ^ " anchored at req") "req" anchor;
+        Alcotest.(check bool) (name ^ " in req's trace") true same_trace
+      end)
+    e1
+
 let () =
   Alcotest.run "obs"
     [ ("metrics",
@@ -357,10 +690,23 @@ let () =
            test_gauge_survives_disable;
          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets ]);
+      ("sketches",
+       [ Alcotest.test_case "quantile accuracy" `Quick test_sketch_accuracy;
+         Alcotest.test_case "shard merge under 4 domains" `Quick
+           test_sketch_shard_merge;
+         Alcotest.test_case "outlier exemplar" `Quick test_sketch_exemplar ]);
+      ("window",
+       [ Alcotest.test_case "rotation, rates, expiry" `Quick test_window ]);
+      ("export",
+       [ Alcotest.test_case "openmetrics format" `Quick
+           test_openmetrics_format;
+         Alcotest.test_case "snapshot + diff" `Quick test_snapshot_and_diff ]);
       ("sharding",
        [ Alcotest.test_case "merge under 4 domains" `Quick test_shard_merge;
          Alcotest.test_case "pool-size invariance" `Quick
-           test_domain_invariance ]);
+           test_domain_invariance;
+         Alcotest.test_case "span parenting invariance" `Quick
+           test_parenting_invariance ]);
       ("instrumentation",
        [ Alcotest.test_case "ope cache counters" `Quick
            test_ope_cache_counters ]);

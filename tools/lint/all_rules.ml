@@ -10,4 +10,5 @@ let all : Rule.t list =
     Rule_exn01.rule;
     Rule_err01.rule;
     Rule_mli01.rule;
-    Rule_perf01.rule ]
+    Rule_perf01.rule;
+    Rule_obs02.rule ]

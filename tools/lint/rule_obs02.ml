@@ -1,0 +1,51 @@
+(* OBS02 — ad-hoc clock reads outside the observability control module.
+
+   Every timestamp in lib/ and bin/ must come from [Obs.now_ns] /
+   [Obs.time_start] (defined in lib/obs/control.ml), for two reasons:
+   timed code stays zero-cost when telemetry is off only if the clock
+   read sits behind the [Control.enabled] gate, and windowed rates /
+   span timelines are only coherent if every subsystem shares one clock.
+   Flags any [Unix.gettimeofday], [Unix.time] or [Sys.time] identifier
+   under lib/ or bin/, except in lib/obs/control.ml itself.  bench/ and
+   test/ are out of scope: the harness legitimately stamps wall-clock
+   metadata and drives injectable [?now] arguments. *)
+
+open Parsetree
+
+let id = "OBS02"
+let severity = Rule.Error
+
+let in_scope src = Rule.under [ "lib" ] src || Rule.under [ "bin" ] src
+
+let is_control src =
+  Rule.under [ "lib"; "obs" ] src
+  && String.equal (Rule.basename src) "control.ml"
+
+let check (src : Rule.source) =
+  if (not (in_scope src)) || is_control src then []
+  else
+    match src.impl with
+    | None -> []
+    | Some str ->
+      let acc = ref [] in
+      Rule.iter_exprs str (fun e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; loc } ->
+            (match Rule.norm_longident txt with
+             | [ "Unix"; ("time" | "gettimeofday") ] | [ "Sys"; "time" ] ->
+               acc :=
+                 Rule.at id severity ~path:src.path loc
+                   "direct clock read; use Obs.now_ns / Obs.time_start so \
+                    timing stays gated and on the shared telemetry clock"
+                 :: !acc
+             | _ -> ())
+          | _ -> ());
+      List.rev !acc
+
+let rule : Rule.t =
+  { Rule.id;
+    severity;
+    doc =
+      "no direct clock reads (Unix.gettimeofday/Unix.time/Sys.time) in lib/ \
+       or bin/ outside lib/obs/control.ml";
+    check }
