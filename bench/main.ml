@@ -1444,6 +1444,26 @@ let metered_metrics_snapshot () =
   ignore
     (Dpe.Db_encryptor.encrypt_database
        (Dpe.Encryptor.create keyring rscheme) db);
+  (* lint cost rides along in the stamp (kitdpe.lint gauges): tools/trend can
+     then chart analysis runtime PR over PR like any hot-path metric.
+     Skipped when the bench runs outside a checkout (no source roots). *)
+  (match
+     List.filter
+       (fun d -> Sys.file_exists d && Sys.is_directory d)
+       [ "lib"; "bin"; "bench"; "test" ]
+   with
+   | [] -> ()
+   | roots ->
+     let t0 = Unix.gettimeofday () in
+     let r = Lint_core.Engine.run ~roots in
+     let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+     Obs.Metric.set_gauge
+       (Obs.Registry.gauge "kitdpe.lint.files")
+       r.Lint_core.Engine.files_scanned;
+     Obs.Metric.set_gauge
+       (Obs.Registry.gauge "kitdpe.lint.findings")
+       (List.length r.Lint_core.Engine.findings);
+     Obs.Metric.set_gauge (Obs.Registry.gauge "kitdpe.lint.ns") (int_of_float ns));
   let snap = Obs.Export.snapshot_json () in
   if not was_on then Obs.set_enabled false;
   snap

@@ -6,6 +6,25 @@
    the first mismatch occurs, so the running time is independent of the
    byte values. *)
 
+(* Declassification markers (lint rule SECFLOW01).
+
+   [redact] and [int_bits] are the only sanctioned ways to move
+   secret-derived data into an error message, log line or telemetry
+   label: they reduce the value to public size information plus a
+   truncated digest (enough to correlate two reports of the same value,
+   not enough to recover it).  The typed lint tier treats them as
+   declassifiers — anything else carrying taint into a sink is a
+   finding. *)
+
+let redact s =
+  Printf.sprintf "[redacted:%d bytes,sha256:%s]" (String.length s)
+    (String.sub (Sha256.hex s) 0 8)
+
+let int_bits n =
+  let u = if n >= 0 then n else lnot n in
+  let rec go acc u = if u = 0 then acc else go (acc + 1) (u lsr 1) in
+  go 0 u
+
 let equal a b =
   let la = String.length a and lb = String.length b in
   if la <> lb then false

@@ -9,6 +9,20 @@
     side-channel literature, see DESIGN.md §8).  Lint rule CT01 rejects
     those; this module provides the replacement. *)
 
+val redact : string -> string
+(** [redact s] renders secret material [s] as public metadata:
+    ["[redacted:<len> bytes,sha256:<8 hex>]"].  The truncated digest
+    lets two reports about the same value be correlated without
+    revealing it; the length was public already (ciphertext layouts fix
+    it).  Lint rule SECFLOW01 accepts a redacted value anywhere a
+    secret-tainted one is rejected. *)
+
+val int_bits : int -> int
+(** [int_bits n] is the number of significant bits in the magnitude of
+    [n] (0 for 0, and [lnot n] for negatives so [min_int] is defined) —
+    the public size class range-exhaustion errors report instead of the
+    plaintext itself. *)
+
 val equal : string -> string -> bool
 (** [equal a b] is [true] iff [a] and [b] have the same length and
     contents.  The length comparison may exit early (lengths are public:

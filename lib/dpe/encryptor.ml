@@ -170,17 +170,20 @@ let prob_const t ~purpose c =
   Ast.Cstring
     (Crypto.Hex.encode (Crypto.Prob.encrypt (prob_key t purpose) t.rng (render_const c)))
 
-let ope_int key n =
+let ope_int key (n [@secret]) =
   if n < -ope_offset || n >= ope_offset then
     raise
       (Fault.Error.E
-         (Fault.Error.Ope_range_exhausted { op = "Dpe.Encryptor.ope_int"; value = n }));
+         (Fault.Error.Ope_range_exhausted
+            { op = "Dpe.Encryptor.ope_int"; bits = Crypto.Ct.int_bits n }));
   Crypto.Ope.encrypt key (n + ope_offset)
 
-let ope_const key = function
+let ope_const key (c [@secret]) =
+  match c with
   | Ast.Cint n -> Ast.Cint (ope_int key n)
-  | Ast.Cfloat f -> err "float constant %g under an OPE policy" f
-  | Ast.Cstring s -> err "string constant %S under an OPE policy" s
+  | Ast.Cfloat f ->
+    err "float constant %s under an OPE policy" (Crypto.Ct.redact (string_of_float f))
+  | Ast.Cstring s -> err "string constant %s under an OPE policy" (Crypto.Ct.redact s)
 
 (* the policy key of an attribute is its unqualified plaintext name *)
 let policy_key (a : Ast.attr) = a.Ast.name
@@ -287,7 +290,7 @@ let decrypt_const_exn t (ctx : Ast.const_ctx) (c : Ast.const) : Ast.const =
       | Scheme.C_ope_join g, Ast.Cint n -> ope_inv (join_ope_key t g) n
       | cls, _ ->
         err "constant %s does not match policy %s of %s"
-          (render_const c) (Scheme.show_const_class cls) name
+          (render_const c) (Scheme.show_const_class cls) (Crypto.Ct.redact name)
     in
     (match ctx with
      | Ast.In_predicate a -> for_attr a
@@ -317,7 +320,7 @@ let value_render v =
   | Some c -> render_const c
   | None -> err "cannot encrypt NULL (nulls pass through)"
 
-let encrypt_value t ~attr v =
+let encrypt_value t ~attr (v [@secret]) =
   if Value.is_null v then v
   else begin
     match
@@ -340,11 +343,11 @@ let encrypt_value t ~attr v =
     | Scheme.C_ope ->
       (match v with
        | Value.Vint n -> Value.Vint (ope_int (ope_key t ("const/" ^ attr)) n)
-       | v -> err "OPE column %s holds non-integer %s" attr (Value.to_string v))
+       | v -> err "OPE column %s holds non-integer %s" attr (Crypto.Ct.redact (Value.to_string v)))
     | Scheme.C_ope_join g ->
       (match v with
        | Value.Vint n -> Value.Vint (ope_int (join_ope_key t g) n)
-       | v -> err "OPE join column %s holds non-integer %s" attr (Value.to_string v))
+       | v -> err "OPE join column %s holds non-integer %s" attr (Crypto.Ct.redact (Value.to_string v)))
     | Scheme.C_hom ->
       (match v with
        | Value.Vint n ->
@@ -352,7 +355,7 @@ let encrypt_value t ~attr v =
          Value.Vstring
            (Crypto.Hex.encode
               (Crypto.Paillier.serialize (Crypto.Paillier.encrypt_int pub t.rng n)))
-       | v -> err "HOM column %s holds non-integer %s" attr (Value.to_string v))
+       | v -> err "HOM column %s holds non-integer %s" attr (Crypto.Ct.redact (Value.to_string v)))
   end
 
 (* ---- bulk (multi-domain) encryption support ----
@@ -400,23 +403,23 @@ let column_encoder t ~rel ~attr =
           (Crypto.Hex.encode (Crypto.Prob.encrypt key rng (value_render v))))
   | Scheme.C_ope ->
     let key = ope_key t ("const/" ^ attr) in
-    nonnull (fun ~rng:_ ~row:_ v ->
+    nonnull (fun ~rng:_ ~row:_ (v [@secret]) ->
         match v with
         | Value.Vint n -> Value.Vint (ope_int key n)
-        | v -> err "OPE column %s holds non-integer %s" attr (Value.to_string v))
+        | v -> err "OPE column %s holds non-integer %s" attr (Crypto.Ct.redact (Value.to_string v)))
   | Scheme.C_ope_join g ->
     let key = join_ope_key t g in
-    nonnull (fun ~rng:_ ~row:_ v ->
+    nonnull (fun ~rng:_ ~row:_ (v [@secret]) ->
         match v with
         | Value.Vint n -> Value.Vint (ope_int key n)
         | v ->
-          err "OPE join column %s holds non-integer %s" attr (Value.to_string v))
+          err "OPE join column %s holds non-integer %s" attr (Crypto.Ct.redact (Value.to_string v)))
   | Scheme.C_hom ->
     let pub, _ = paillier t in
     (* the shared row generator is ignored: each cell derives its own
        DRBG from the cell label, the same stream [noise_fill] uses, so
        the ciphertext is identical with the pool warm, cold or absent *)
-    nonnull (fun ~rng:_ ~row v ->
+    nonnull (fun ~rng:_ ~row (v [@secret]) ->
         match v with
         | Value.Vint n ->
           let key = hom_cell_key ~rel ~row ~attr in
@@ -426,7 +429,7 @@ let column_encoder t ~rel ~attr =
                (Crypto.Paillier.serialize
                   (Crypto.Paillier.encrypt_int_pooled ?pool:t.noise_pool pub ~key
                      cell_rng n)))
-        | v -> err "HOM column %s holds non-integer %s" attr (Value.to_string v))
+        | v -> err "HOM column %s holds non-integer %s" attr (Crypto.Ct.redact (Value.to_string v)))
 
 let decrypt_value t ~attr v =
   if Value.is_null v then Ok v

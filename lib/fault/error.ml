@@ -11,7 +11,7 @@
 type t =
   | Injected of { point : string; key : int }
   | Crypto_failure of { op : string; reason : string }
-  | Ope_range_exhausted of { op : string; value : int }
+  | Ope_range_exhausted of { op : string; bits : int }
   | Paillier_mismatch of { op : string; reason : string }
   | Csv_malformed of { line : int; reason : string }
   | Row_failed of { rel : string; row : int; attempts : int; cause : t }
@@ -28,8 +28,8 @@ let rec to_string = function
     Printf.sprintf "injected fault at %s (key %d)" point key
   | Crypto_failure { op; reason } ->
     Printf.sprintf "crypto failure in %s: %s" op reason
-  | Ope_range_exhausted { op; value } ->
-    Printf.sprintf "OPE range exhausted in %s (plaintext %d)" op value
+  | Ope_range_exhausted { op; bits } ->
+    Printf.sprintf "OPE range exhausted in %s (plaintext magnitude: %d bits)" op bits
   | Paillier_mismatch { op; reason } ->
     Printf.sprintf "Paillier mismatch in %s: %s" op reason
   | Csv_malformed { line; reason } ->

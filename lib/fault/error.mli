@@ -10,7 +10,9 @@ type t =
       (** Raised by an armed {!Fault.point}; [key] is the deterministic
           call-site key the trigger resolved on. *)
   | Crypto_failure of { op : string; reason : string }
-  | Ope_range_exhausted of { op : string; value : int }
+  | Ope_range_exhausted of { op : string; bits : int }
+      (** [bits] is [Crypto.Ct.int_bits] of the rejected plaintext — its
+          magnitude class, never the value itself (SECFLOW01). *)
   | Paillier_mismatch of { op : string; reason : string }
   | Csv_malformed of { line : int; reason : string }
       (** [line] is the 1-based physical line of the offending row. *)

@@ -1,0 +1,8 @@
+(* Deliberate DOM02 violations: Atomic.get / Atomic.set read-modify-
+   write pairs that lose concurrent updates. *)
+
+let lossy_incr c = Atomic.set c (Atomic.get c + 1)
+
+let lossy_max c x =
+  let cur = Atomic.get c in
+  if x > cur then Atomic.set c x

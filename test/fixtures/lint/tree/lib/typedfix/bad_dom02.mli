@@ -1,0 +1,4 @@
+(* Deliberate DOM02 violations (lossy Atomic read-modify-write). *)
+
+val lossy_incr : int Atomic.t -> unit
+val lossy_max : int Atomic.t -> int -> unit

@@ -1,0 +1,21 @@
+(* Deliberate SECFLOW01 violations: secret material reaching sinks
+   directly.  test_lint pins the (rule, line) of every finding below. *)
+
+let leak_master_stdout kr =
+  print_endline (Crypto.Keyring.master kr)
+
+let leak_derived_span () =
+  Obs.Span.with_span
+    ("query:" ^ Crypto.Hmac.derive ~master:"m" ~purpose:"p" 16)
+    (fun () -> ())
+
+let leak_error_payload kr =
+  Fault.Error.Crypto_failure { op = "fixture"; reason = Crypto.Keyring.master kr }
+
+let leak_metric_name kr =
+  ignore (Obs.Registry.counter ("hits:" ^ Crypto.Keyring.master kr))
+
+let leak_decrypted key ct =
+  match Crypto.Det.decrypt key ct with
+  | Some plain -> print_endline plain
+  | None -> ()

@@ -1,0 +1,7 @@
+(* Deliberate SECFLOW01 violations (direct source-to-sink flows). *)
+
+val leak_master_stdout : Crypto.Keyring.t -> unit
+val leak_derived_span : unit -> unit
+val leak_error_payload : Crypto.Keyring.t -> Fault.Error.t
+val leak_metric_name : Crypto.Keyring.t -> unit
+val leak_decrypted : Crypto.Det.key -> string -> unit

@@ -1,0 +1,13 @@
+(* SECFLOW01 through helper functions: the taint must survive a
+   propagating helper ([quote]) and be reported at the call site of a
+   sinking helper ([log_line]) — the interprocedural summary cases. *)
+
+let quote s = "<" ^ s ^ ">"
+
+let log_line s = print_endline s
+
+let leak_via_helpers kr =
+  log_line (quote (Crypto.Keyring.master kr))
+
+let print_secret_param (token [@secret]) =
+  print_endline token

@@ -1,0 +1,6 @@
+(* SECFLOW01 interprocedural cases: taint through helpers. *)
+
+val quote : string -> string
+val log_line : string -> unit
+val leak_via_helpers : Crypto.Keyring.t -> unit
+val print_secret_param : string -> unit

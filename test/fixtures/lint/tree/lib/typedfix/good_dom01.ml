@@ -1,0 +1,27 @@
+(* Benign counterparts of bad_dom01: the same shapes made domain-safe
+   with Atomic, a Mutex, per-index array slots, or domain-local state.
+   Must produce zero DOM01 findings. *)
+
+let atomic_counter pool n =
+  let hits = Atomic.make 0 in
+  Parallel.Pool.for_range pool n (fun _i -> Atomic.incr hits);
+  Atomic.get hits
+
+let mutex_guarded pool n =
+  let total = ref 0 in
+  let m = Mutex.create () in
+  Parallel.Pool.for_range pool n (fun i ->
+      Mutex.lock m;
+      total := !total + i;
+      Mutex.unlock m);
+  !total
+
+let per_index pool (src : int array) =
+  let dst = Array.make (Array.length src) 0 in
+  Parallel.Pool.for_range pool (Array.length src) (fun i -> dst.(i) <- src.(i) * 2);
+  dst
+
+let dls_buffers pool n =
+  let key = Domain.DLS.new_key (fun () -> Buffer.create 64) in
+  Parallel.Pool.for_range pool n (fun i ->
+      Buffer.add_string (Domain.DLS.get key) (string_of_int i))

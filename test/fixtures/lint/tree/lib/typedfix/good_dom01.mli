@@ -1,0 +1,6 @@
+(* Domain-safe counterparts: Atomic, Mutex, per-index slots, DLS. *)
+
+val atomic_counter : Parallel.Pool.t -> int -> int
+val mutex_guarded : Parallel.Pool.t -> int -> int
+val per_index : Parallel.Pool.t -> int array -> int array
+val dls_buffers : Parallel.Pool.t -> int -> unit

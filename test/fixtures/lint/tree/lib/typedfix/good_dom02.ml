@@ -1,0 +1,15 @@
+(* Benign Atomic usage: fetch_and_add, a compare_and_set retry loop,
+   and plain set-only / get-only access.  Zero DOM02 findings. *)
+
+let count c = ignore (Atomic.fetch_and_add c 1)
+
+let cas_max c x =
+  let rec go () =
+    let cur = Atomic.get c in
+    if x > cur && not (Atomic.compare_and_set c cur x) then go ()
+  in
+  go ()
+
+let reset c = Atomic.set c 0
+
+let read c = Atomic.get c

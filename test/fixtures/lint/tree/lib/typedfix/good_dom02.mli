@@ -1,0 +1,6 @@
+(* Benign Atomic patterns: RMW via fetch_and_add / compare_and_set. *)
+
+val count : int Atomic.t -> unit
+val cas_max : int Atomic.t -> int -> unit
+val reset : int Atomic.t -> unit
+val read : int Atomic.t -> int

@@ -1,0 +1,19 @@
+(* Benign counterparts of bad_secflow: declassified or static data at
+   the same sinks.  Must produce zero SECFLOW01 findings. *)
+
+let report_master_len kr =
+  print_endline (string_of_int (String.length (Crypto.Keyring.master kr)))
+
+let report_redacted kr =
+  print_endline (Crypto.Ct.redact (Crypto.Keyring.master kr))
+
+let span_static_name f = Obs.Span.with_span "query:encrypt" f
+
+let redact_decrypted key ct =
+  match Crypto.Det.decrypt key ct with
+  | Some plain -> print_endline (Crypto.Ct.redact plain)
+  | None -> ()
+
+let public_ciphertext key msg =
+  (* encryption launders: a ciphertext derived from a key is public *)
+  print_endline (Crypto.Hex.encode (Crypto.Det.encrypt key msg))

@@ -1,0 +1,7 @@
+(* Benign flows: declassified, static, or laundered-by-encryption. *)
+
+val report_master_len : Crypto.Keyring.t -> unit
+val report_redacted : Crypto.Keyring.t -> unit
+val span_static_name : (unit -> unit) -> unit
+val redact_decrypted : Crypto.Det.key -> string -> unit
+val public_ciphertext : Crypto.Det.key -> string -> unit

@@ -1,0 +1,3 @@
+(* Typed-rule inline suppression fixture. *)
+
+val hush : Crypto.Keyring.t -> unit

@@ -82,6 +82,72 @@ let test_perf01 () =
     [ ("PERF01", 2); ("PERF01", 4) ];
   check_errors_nonzero "lib/mining/bad_perf01.ml"
 
+(* ---- fixtures: typed tier (SECFLOW01 / DOM01 / DOM02) ----
+
+   These fixtures are a real dune library (typedfix, linked into this
+   test so its .cmt artifacts exist); the typed rules read the compiled
+   typedtree, so each test also asserts the unit actually loaded. *)
+
+let check_typed_findings name path expected =
+  let r = Engine.run ~roots:[ fixture path ] in
+  Alcotest.(check int) (name ^ " unit loaded") 1 r.Engine.typed_units;
+  Alcotest.(check (list (pair string int))) name expected (pairs r.Engine.findings)
+
+let test_secflow01_direct () =
+  check_typed_findings "SECFLOW01 direct" "lib/typedfix/bad_secflow.ml"
+    [ ("SECFLOW01", 5); ("SECFLOW01", 9); ("SECFLOW01", 13);
+      ("SECFLOW01", 16); ("SECFLOW01", 20) ]
+
+let test_secflow01_interproc () =
+  (* taint through a propagating helper, reported at the sinking
+     helper's call site — the per-parameter summary machinery *)
+  check_typed_findings "SECFLOW01 interprocedural"
+    "lib/typedfix/bad_secflow_interproc.ml"
+    [ ("SECFLOW01", 10); ("SECFLOW01", 13) ]
+
+let test_secflow01_good () =
+  check_typed_findings "SECFLOW01 clean" "lib/typedfix/good_secflow.ml" []
+
+let test_dom01 () =
+  check_typed_findings "DOM01 fixture" "lib/typedfix/bad_dom01.ml"
+    [ ("DOM01", 6); ("DOM01", 12); ("DOM01", 19) ]
+
+let test_dom01_good () =
+  (* Atomic, Mutex, per-index array, DLS: all recognized as safe *)
+  check_typed_findings "DOM01 clean" "lib/typedfix/good_dom01.ml" []
+
+let test_dom02 () =
+  check_typed_findings "DOM02 fixture" "lib/typedfix/bad_dom02.ml"
+    [ ("DOM02", 4); ("DOM02", 8) ]
+
+let test_dom02_good () =
+  check_typed_findings "DOM02 clean" "lib/typedfix/good_dom02.ml" []
+
+let test_typed_suppression () =
+  check_typed_findings "typed inline allow comment"
+    "lib/typedfix/suppressed_typed.ml" []
+
+let test_typed_baseline () =
+  let r = Engine.run ~roots:[ fixture "lib/typedfix/bad_dom02.ml" ] in
+  let keys = List.map Engine.baseline_key r.Engine.findings in
+  let filtered = Engine.apply_baseline keys r in
+  Alcotest.(check int) "typed findings baselined away" 0
+    (List.length filtered.Engine.findings)
+
+let test_no_typed_flag () =
+  (* --no-typed must drop exactly the typed tier's findings *)
+  let r = Engine.run_with ~typed:false ~roots:[ fixture "lib/typedfix" ] in
+  Alcotest.(check int) "no typed units" 0 r.Engine.typed_units;
+  Alcotest.(check int) "no typed findings" 0 (List.length r.Engine.findings)
+
+let test_typed_requires_cmts () =
+  (* a root with no compiled artifacts loads zero units — the condition
+     the CLI turns into a loud exit 2 instead of a vacuous pass *)
+  let r = Engine.run ~roots:[ fixture "lib/crypto/bad_ct01.ml" ] in
+  Alcotest.(check int) "no cmts under plain fixtures" 0 r.Engine.typed_cmts;
+  let typed = Engine.run ~roots:[ fixture "lib/typedfix" ] in
+  Alcotest.(check bool) "cmts found under typedfix" true (typed.Engine.typed_cmts > 0)
+
 (* ---- fixtures: clean & suppressed ---- *)
 
 let test_good_clean () =
@@ -106,7 +172,10 @@ let test_whole_fixture_tree () =
   Alcotest.(check int) "MLI01 count" 1 (by_rule "MLI01");
   Alcotest.(check int) "PERF01 count" 2 (by_rule "PERF01");
   Alcotest.(check int) "OBS02 count" 2 (by_rule "OBS02");
-  Alcotest.(check int) "total" 19 (List.length r.Engine.findings)
+  Alcotest.(check int) "SECFLOW01 count" 7 (by_rule "SECFLOW01");
+  Alcotest.(check int) "DOM01 count" 3 (by_rule "DOM01");
+  Alcotest.(check int) "DOM02 count" 2 (by_rule "DOM02");
+  Alcotest.(check int) "total" 31 (List.length r.Engine.findings)
 
 (* ---- the baseline mechanism ---- *)
 
@@ -165,4 +234,16 @@ let () =
           Alcotest.test_case "suppression" `Quick test_suppression;
           Alcotest.test_case "whole tree" `Quick test_whole_fixture_tree;
           Alcotest.test_case "baseline" `Quick test_baseline ] );
+      ( "typed",
+        [ Alcotest.test_case "SECFLOW01 direct" `Quick test_secflow01_direct;
+          Alcotest.test_case "SECFLOW01 interproc" `Quick test_secflow01_interproc;
+          Alcotest.test_case "SECFLOW01 clean" `Quick test_secflow01_good;
+          Alcotest.test_case "DOM01" `Quick test_dom01;
+          Alcotest.test_case "DOM01 clean" `Quick test_dom01_good;
+          Alcotest.test_case "DOM02" `Quick test_dom02;
+          Alcotest.test_case "DOM02 clean" `Quick test_dom02_good;
+          Alcotest.test_case "typed suppression" `Quick test_typed_suppression;
+          Alcotest.test_case "typed baseline" `Quick test_typed_baseline;
+          Alcotest.test_case "--no-typed" `Quick test_no_typed_flag;
+          Alcotest.test_case "cmt discovery" `Quick test_typed_requires_cmts ] );
       ("repo", [ Alcotest.test_case "lints clean" `Quick test_repo_clean ]) ]

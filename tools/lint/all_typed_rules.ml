@@ -1,0 +1,7 @@
+(* The typed (.cmt-based) rule set, in report order.  Adding a typed
+   rule: write a [Typed_common.trule] module (see DESIGN.md §13) and
+   list it here — discovery, suppression, baseline, JSON and SARIF
+   rendering all come from the engine. *)
+
+let all : Typed_common.trule list =
+  [ Trule_secflow01.rule; Trule_dom01.rule; Trule_dom02.rule ]

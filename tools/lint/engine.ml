@@ -119,8 +119,10 @@ let suppressed supps (f : Rule.finding) =
 (* ---- running ---- *)
 
 type result = {
-  findings : Rule.finding list;  (* post-suppression, sorted *)
-  files_scanned : int;
+  findings : Rule.finding list;  (* post-suppression, sorted; both tiers *)
+  files_scanned : int;  (* sources parsed by the syntactic tier *)
+  typed_cmts : int;  (* .cmt artifacts discovered (0 = nothing was built) *)
+  typed_units : int;  (* typed units in scope and analyzed *)
 }
 
 let compare_findings (a : Rule.finding) (b : Rule.finding) =
@@ -133,9 +135,26 @@ let compare_findings (a : Rule.finding) (b : Rule.finding) =
       let c = Int.compare a.Rule.col b.Rule.col in
       if c <> 0 then c else String.compare a.Rule.rule b.Rule.rule
 
-let run ~roots =
-  let files = discover roots in
+(* The typed tier: load every .cmt in scope and run the typed rules,
+   sharing the inline-suppression convention (comments are read from the
+   resolved source text, which the typedtree locations index into). *)
+let run_typed ~roots =
+  let loaded = Typed_load.load ~roots in
   let findings =
+    List.concat_map
+      (fun (u : Typed_common.unit_info) ->
+        let supps = suppressions u.Typed_common.content in
+        List.concat_map
+          (fun (r : Typed_common.trule) -> r.Typed_common.check u)
+          All_typed_rules.all
+        |> List.filter (fun f -> not (suppressed supps f)))
+      loaded.Typed_load.units
+  in
+  (findings, loaded.Typed_load.cmts_seen, List.length loaded.Typed_load.units)
+
+let run_with ~typed ~roots =
+  let files = discover roots in
+  let syntactic =
     List.concat_map
       (fun path ->
         let content = read_file path in
@@ -147,7 +166,16 @@ let run ~roots =
           |> List.filter (fun f -> not (suppressed supps f)))
       files
   in
-  { findings = List.sort compare_findings findings; files_scanned = List.length files }
+  let typed_findings, typed_cmts, typed_units =
+    if typed then run_typed ~roots else ([], 0, 0)
+  in
+  { findings = List.sort compare_findings (syntactic @ typed_findings);
+    files_scanned = List.length files;
+    typed_cmts;
+    typed_units }
+
+(* both tiers — what the CLI, CI and the test suite run by default *)
+let run ~roots = run_with ~typed:true ~roots
 
 let errors result =
   List.filter (fun (f : Rule.finding) -> f.Rule.severity = Rule.Error) result.findings
@@ -190,7 +218,9 @@ let to_json ~roots result =
   let str s = Buffer.add_char b '"'; json_escape b s; Buffer.add_char b '"' in
   Buffer.add_string b "{\"version\":1,\"roots\":[";
   List.iteri (fun i r -> if i > 0 then Buffer.add_char b ','; str r) roots;
-  Buffer.add_string b (Printf.sprintf "],\"files_scanned\":%d,\"findings\":[" result.files_scanned);
+  Buffer.add_string b
+    (Printf.sprintf "],\"files_scanned\":%d,\"typed_cmts\":%d,\"typed_units\":%d,\"findings\":["
+       result.files_scanned result.typed_cmts result.typed_units);
   List.iteri
     (fun i (f : Rule.finding) ->
       if i > 0 then Buffer.add_char b ',';
@@ -238,30 +268,44 @@ let print_text result =
 
 let usage =
   "kitdpe_lint [options] [root ...]\n\
-   Crypto-hygiene & concurrency lint for the kitdpe tree (default roots: lib bin bench test).\n\n\
+   Crypto-hygiene & concurrency lint for the kitdpe tree (default roots: lib bin bench test).\n\
+   Two tiers: syntactic rules over the parsetree, and typed rules (SECFLOW01,\n\
+   DOM01, DOM02) over the .cmt artifacts dune produces — build the tree first\n\
+   (`dune build @check`) or the typed tier fails loudly.\n\n\
    Options:\n\
   \  --json FILE            write a JSON report to FILE\n\
+  \  --sarif FILE           write a SARIF 2.1.0 report to FILE (GitHub code scanning)\n\
   \  --baseline FILE        ignore findings listed in FILE\n\
   \  --write-baseline FILE  write current findings to FILE and exit 0\n\
+  \  --no-typed             skip the typed (.cmt) tier\n\
   \  --list-rules           print the rule set and exit\n\
   \  --quiet                suppress per-finding text output\n\
   \  --help                 this message\n"
 
 type opts = {
   mutable json : string option;
+  mutable sarif : string option;
   mutable baseline : string option;
   mutable write_baseline : string option;
   mutable quiet : bool;
+  mutable typed : bool;
   mutable roots : string list;
 }
 
+let rule_meta () =
+  List.map
+    (fun (r : Rule.t) -> (r.Rule.id, r.Rule.severity, r.Rule.doc))
+    All_rules.all
+  @ List.map
+      (fun (r : Typed_common.trule) ->
+        (r.Typed_common.id, r.Typed_common.severity, r.Typed_common.doc))
+      All_typed_rules.all
+
 let list_rules () =
   List.iter
-    (fun (r : Rule.t) ->
-      Printf.printf "%-9s %-7s %s\n" r.Rule.id
-        (Rule.severity_to_string r.Rule.severity)
-        r.Rule.doc)
-    All_rules.all
+    (fun (id, severity, doc) ->
+      Printf.printf "%-9s %-7s %s\n" id (Rule.severity_to_string severity) doc)
+    (rule_meta ())
 
 let split_eq arg =
   (* "--json=FILE" -> ("--json", Some "FILE") *)
@@ -271,7 +315,10 @@ let split_eq arg =
   | _ -> (arg, None)
 
 let main () =
-  let o = { json = None; baseline = None; write_baseline = None; quiet = false; roots = [] } in
+  let o =
+    { json = None; sarif = None; baseline = None; write_baseline = None;
+      quiet = false; typed = true; roots = [] }
+  in
   let die msg = prerr_string (msg ^ "\n\n" ^ usage); exit 2 in
   let rec parse = function
     | [] -> ()
@@ -285,9 +332,11 @@ let main () =
       in
       (match flag with
        | "--json" -> value rest (fun v rest -> o.json <- Some v; parse rest)
+       | "--sarif" -> value rest (fun v rest -> o.sarif <- Some v; parse rest)
        | "--baseline" -> value rest (fun v rest -> o.baseline <- Some v; parse rest)
        | "--write-baseline" ->
          value rest (fun v rest -> o.write_baseline <- Some v; parse rest)
+       | "--no-typed" -> o.typed <- false; parse rest
        | "--quiet" | "-q" -> o.quiet <- true; parse rest
        | "--list-rules" -> list_rules (); exit 0
        | "--help" | "-h" -> print_string usage; exit 0
@@ -306,7 +355,16 @@ let main () =
   List.iter
     (fun r -> if not (Sys.file_exists r) then die ("no such root: " ^ r))
     roots;
-  let result = run ~roots in
+  let result = run_with ~typed:o.typed ~roots in
+  (* silent-skip guard: a typed run that found no build artifacts at all
+     would vacuously pass — fail loudly instead (CI builds @check first) *)
+  if o.typed && result.typed_cmts = 0 then begin
+    prerr_string
+      "kitdpe_lint: typed tier found no .cmt artifacts under the given roots.\n\
+       Build them first (`dune build @check` or a full `dune build`), or pass\n\
+       --no-typed to run the syntactic tier alone.\n";
+    exit 2
+  end;
   (match o.write_baseline with
    | Some path ->
      let oc = open_out path in
@@ -329,11 +387,19 @@ let main () =
      output_string oc "\n";
      close_out oc
    | None -> ());
+  (match o.sarif with
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Sarif.render ~rules:(rule_meta ()) result.findings);
+     output_string oc "\n";
+     close_out oc
+   | None -> ());
   let errs = List.length (errors result) in
-  Printf.printf "kitdpe_lint: %d finding%s (%d error%s) in %d files\n"
+  Printf.printf "kitdpe_lint: %d finding%s (%d error%s) in %d files (%d typed units)\n"
     (List.length result.findings)
     (if List.length result.findings = 1 then "" else "s")
     errs
     (if errs = 1 then "" else "s")
-    result.files_scanned;
+    result.files_scanned
+    result.typed_units;
   exit (if errs > 0 then 1 else 0)

@@ -1,0 +1,68 @@
+(* SARIF 2.1.0 rendering — the interchange format GitHub code scanning
+   ingests, so lint findings annotate PRs inline.  One run, one driver
+   ("kitdpe_lint"), every rule of both tiers declared under
+   [tool.driver.rules]; columns are converted from the 0-based internal
+   representation to SARIF's 1-based one. *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let level = function Rule.Error -> "error" | Rule.Warning -> "warning"
+
+(* GitHub resolves relative URIs against the checkout root; absolute
+   paths (the test suite lints with absolute roots) are left alone *)
+let uri_of_file f =
+  let f = if String.length f > 2 && String.equal (String.sub f 0 2) "./" then
+      String.sub f 2 (String.length f - 2)
+    else f
+  in
+  f
+
+let render ~rules (findings : Rule.finding list) =
+  let b = Buffer.create 4096 in
+  let str s = Buffer.add_char b '"'; escape b s; Buffer.add_char b '"' in
+  Buffer.add_string b
+    "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",";
+  Buffer.add_string b "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{";
+  Buffer.add_string b "\"name\":\"kitdpe_lint\",\"rules\":[";
+  List.iteri
+    (fun i (id, severity, doc) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"id\":";
+      str id;
+      Buffer.add_string b ",\"shortDescription\":{\"text\":";
+      str doc;
+      Buffer.add_string b "},\"defaultConfiguration\":{\"level\":";
+      str (level severity);
+      Buffer.add_string b "}}")
+    rules;
+  Buffer.add_string b "]}},\"results\":[";
+  List.iteri
+    (fun i (f : Rule.finding) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"ruleId\":";
+      str f.Rule.rule;
+      Buffer.add_string b ",\"level\":";
+      str (level f.Rule.severity);
+      Buffer.add_string b ",\"message\":{\"text\":";
+      str f.Rule.message;
+      Buffer.add_string b "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":";
+      str (uri_of_file f.Rule.file);
+      Buffer.add_string b
+        (Printf.sprintf
+           "},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+           (max 1 f.Rule.line) (f.Rule.col + 1)))
+    findings;
+  Buffer.add_string b "]}]}";
+  Buffer.contents b

@@ -1,0 +1,102 @@
+(* DOM02 — lossy Atomic read-modify-write.
+
+   [Atomic.get x] followed by [Atomic.set x (f ...)] in the same
+   function is almost always a lost-update bug: another domain can write
+   between the read and the write.  The atomic primitives exist for
+   exactly this — counters want [fetch_and_add], everything else a
+   [compare_and_set] retry loop (which this rule does not flag: CAS
+   loops read with [get] but write with [compare_and_set], never
+   [set]).
+
+   Scope: both operations must target the same atomic, identified by the
+   printed target expression ([x], [t.field]), within one toplevel value
+   binding — nested helper functions included, which can over-approximate
+   (a [get] in one local function and a [set] in another), but
+   state-machine code split that way deserves a second look anyway.
+   Blind write-only [set]s (initialization, reset) and read-only [get]s
+   are never flagged. *)
+
+module C = Typed_common
+
+let key_of_target (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> Some (C.segs_to_string (C.path_segs p))
+  | Typedtree.Texp_field (e0, _, lbl) ->
+    (match e0.Typedtree.exp_desc with
+     | Typedtree.Texp_ident (p, _, _) ->
+       Some (C.segs_to_string (C.path_segs p) ^ "." ^ lbl.Types.lbl_name)
+     | _ -> None)
+  | _ -> None
+
+let iter_exprs f e =
+  let it =
+    { Tast_iterator.default_iterator with
+      expr =
+        (fun self sub ->
+          f sub;
+          Tast_iterator.default_iterator.expr self sub) }
+  in
+  it.expr it e
+
+let check_scope ~path acc (scope : Typedtree.expression) =
+  let gets = Hashtbl.create 8 and sets = Hashtbl.create 8 in
+  iter_exprs
+    (fun e ->
+      match e.Typedtree.exp_desc with
+      | Typedtree.Texp_apply (fn, args) ->
+        (match C.head_of_apply fn, C.arg_exprs args with
+         | Some [ "Atomic"; op ], target :: _ ->
+           (match key_of_target target with
+            | Some key ->
+              if String.equal op "get" then Hashtbl.replace gets key ()
+              else if String.equal op "set" then
+                Hashtbl.replace sets key
+                  (e.Typedtree.exp_loc
+                   :: (try Hashtbl.find sets key with Not_found -> []))
+            | None -> ())
+         | _ -> ())
+      | _ -> ())
+    scope;
+  Hashtbl.fold
+    (fun key locs acc ->
+      if Hashtbl.mem gets key then
+        List.fold_left
+          (fun acc loc ->
+            C.at "DOM02" Rule.Error ~path loc
+              (Printf.sprintf
+                 "Atomic.get + Atomic.set read-modify-write on '%s' loses \
+                  concurrent updates — use Atomic.fetch_and_add or a \
+                  compare_and_set loop"
+                 key)
+            :: acc)
+          acc (List.rev locs)
+      else acc)
+    sets acc
+
+let rec check_items ~path acc items =
+  List.fold_left
+    (fun acc (item : Typedtree.structure_item) ->
+      match item.Typedtree.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+        List.fold_left
+          (fun acc (vb : Typedtree.value_binding) ->
+            check_scope ~path acc vb.Typedtree.vb_expr)
+          acc vbs
+      | Typedtree.Tstr_eval (e, _) -> check_scope ~path acc e
+      | Typedtree.Tstr_module mb ->
+        (match mb.Typedtree.mb_expr.Typedtree.mod_desc with
+         | Typedtree.Tmod_structure str ->
+           check_items ~path acc str.Typedtree.str_items
+         | _ -> acc)
+      | _ -> acc)
+    acc items
+
+let check (u : C.unit_info) =
+  if not (C.under [ "lib" ] u || C.under [ "bin" ] u) then []
+  else List.rev (check_items ~path:u.C.src_path [] u.C.str.Typedtree.str_items)
+
+let rule =
+  { C.id = "DOM02";
+    severity = Rule.Error;
+    doc = "Atomic.get+Atomic.set pair on one atomic (lost update); use RMW primitives";
+    check }

@@ -1,0 +1,19 @@
+(* SECFLOW01 — secret material must not reach logs, telemetry or error
+   payloads.  The analysis proper lives in [Typed_taint]; this module
+   only scopes it: the crypto boundary is [lib/] (where decrypted
+   plaintexts are secrets too) and [bin/] (the CLI may print decrypted
+   results, but never key/DRBG material).  bench/ and the test suite
+   handle secrets on purpose and are out of scope. *)
+
+module C = Typed_common
+
+let rule =
+  { C.id = "SECFLOW01";
+    severity = Rule.Error;
+    doc =
+      "secret-typed or secret-derived value reaches a print/telemetry/error \
+       sink without Crypto.Ct.redact";
+    check =
+      (fun u ->
+        if C.under [ "lib" ] u || C.under [ "bin" ] u then Typed_taint.analyze u
+        else []) }

@@ -1,0 +1,220 @@
+(* .cmt discovery and loading for the typed lint tier.
+
+   dune leaves a [.cmt] (binary-annotated typedtree) next to every
+   compiled module: libraries under
+   [_build/default/<dir>/.<lib>.objs/byte/], executables under
+   [_build/default/<dir>/.<exe>.eobjs/byte/].  For each root we scan
+
+   - the root itself, dot-directories included (the fixture tree carries
+     its own [.typedfix.objs] once dune has built it), and
+   - [_build/default/<root>] of the enclosing dune project, found by
+     walking up to the nearest [dune-project],
+
+   then keep the units whose *source* resolves to a file inside one of
+   the roots.  A unit whose path contains a [fixtures] segment is dropped
+   unless a root itself names a fixtures path — same convention as the
+   syntactic walker, so deliberate fixture violations never dirty a
+   repository run while the test suite can still lint them directly. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let absolutize p = if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
+
+let path_segs p = List.filter (fun s -> s <> "") (String.split_on_char '/' p)
+
+(* consecutive-segment containment, as in [Rule.under] *)
+let segs_contain ~needle haystack =
+  let rec prefix = function
+    | [], _ -> true
+    | _, [] -> false
+    | s :: ss, p :: ps -> String.equal s p && prefix (ss, ps)
+  in
+  let rec scan = function
+    | [] -> false
+    | _ :: rest as l -> prefix (needle, l) || scan rest
+  in
+  scan haystack
+
+(* ---- discovery ---- *)
+
+let rec walk_cmts acc path =
+  match Sys.is_directory path with
+  | true ->
+    if String.equal (Filename.basename path) ".git" then acc
+    else
+      Sys.readdir path |> Array.to_list
+      |> List.sort String.compare
+      |> List.fold_left (fun acc name -> walk_cmts acc (Filename.concat path name)) acc
+  | false -> if Filename.check_suffix path ".cmt" then path :: acc else acc
+  | exception Sys_error _ -> acc
+
+let find_project_root dir =
+  let rec go dir depth =
+    if depth > 12 then None
+    else if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else go parent (depth + 1)
+  in
+  go dir 0
+
+(* "<project>/_build/default/<rel of root>", when the root lives in a
+   dune project (and is not itself a _build path, in which case the
+   derived candidate simply does not exist and scans empty) *)
+let build_dir_of root_dir =
+  match find_project_root root_dir with
+  | None -> None
+  | Some project ->
+    let project = absolutize project and root_dir = absolutize root_dir in
+    let rel =
+      if String.equal project root_dir then ""
+      else begin
+        let pp = project ^ "/" in
+        let lp = String.length pp in
+        if String.length root_dir > lp && String.equal (String.sub root_dir 0 lp) pp then
+          String.sub root_dir lp (String.length root_dir - lp)
+        else ""
+      end
+    in
+    let bd = Filename.concat project (Filename.concat "_build" "default") in
+    let bd = if String.equal rel "" then bd else Filename.concat bd rel in
+    if Sys.file_exists bd && Sys.is_directory bd then Some bd else None
+
+let discover_cmts roots =
+  let seen = Hashtbl.create 64 in
+  let add acc p =
+    (* absolute paths keep [resolve_source]'s _build-stripping usable no
+       matter where the process runs (dune tests run inside _build) *)
+    let key = absolutize p in
+    if Hashtbl.mem seen key then acc
+    else begin
+      Hashtbl.add seen key ();
+      key :: acc
+    end
+  in
+  let scan acc dir = List.fold_left add acc (walk_cmts [] dir) in
+  List.fold_left
+    (fun acc root ->
+      if not (Sys.file_exists root) then acc
+      else begin
+        let dir = if Sys.is_directory root then root else Filename.dirname root in
+        let acc = scan acc dir in
+        match build_dir_of dir with Some bd -> scan acc bd | None -> acc
+      end)
+    [] roots
+  |> List.rev
+
+(* ---- source resolution ---- *)
+
+(* builddir is where dune invoked the compiler ("<project>/_build/default");
+   truncating at the _build segment recovers the checkout root *)
+let strip_build_segs dir =
+  let rec go acc = function
+    | [] -> None
+    | "_build" :: _ -> Some (List.rev acc)
+    | s :: rest -> go (s :: acc) rest
+  in
+  go [] (path_segs dir)
+
+let resolve_source ~builddir ~cmt_path s =
+  (* ppx-preprocessed units record "foo.pp.ml", which only exists inside
+     _build; the checkout source is the same name without ".pp" *)
+  let variants =
+    if Filename.check_suffix s ".pp.ml" then
+      [ Filename.chop_suffix s ".pp.ml" ^ ".ml"; s ]
+    else [ s ]
+  in
+  (* [cmt_builddir] can be a sandbox placeholder ("/workspace_root"), so
+     the reliable checkout root is the cmt's own path truncated at its
+     _build segment *)
+  let rooted root v =
+    match root with
+    | Some segs -> "/" ^ String.concat "/" (segs @ path_segs v)
+    | None -> ""
+  in
+  let cmt_root = strip_build_segs (Filename.dirname cmt_path) in
+  let build_root = strip_build_segs builddir in
+  let candidates =
+    List.concat_map
+      (fun v ->
+        [ v;  (* relative to cwd: repository runs from the checkout root *)
+          rooted cmt_root v;
+          rooted build_root v;
+          (if Filename.is_relative v then Filename.concat builddir v else "") ])
+      variants
+  in
+  List.find_opt (fun c -> c <> "" && Sys.file_exists c && not (Sys.is_directory c)) candidates
+
+(* ---- loading ---- *)
+
+type load_result = {
+  units : Typed_common.unit_info list;
+  cmts_seen : int;  (* raw .cmt files discovered, before any filtering *)
+}
+
+let in_scope ~roots_segs ~allow_fixtures src_segs =
+  List.exists (fun r -> segs_contain ~needle:r src_segs) roots_segs
+  && (allow_fixtures || not (List.mem "fixtures" src_segs))
+
+(* "<pre>/_build/default/<post>" scopes like "<pre>/<post>": a root given
+   relative to the build tree (how dune runs tests) must match sources
+   resolved back to the checkout *)
+let drop_build_default segs =
+  let rec go acc = function
+    | "_build" :: "default" :: rest -> List.rev_append acc rest
+    | s :: rest -> go (s :: acc) rest
+    | [] -> List.rev acc
+  in
+  go [] segs
+
+let load ~roots =
+  let cmts = discover_cmts roots in
+  let roots_segs =
+    List.concat_map
+      (fun r ->
+        let segs = path_segs (absolutize r) in
+        [ segs; drop_build_default segs ])
+      roots
+  in
+  let allow_fixtures = List.exists (List.mem "fixtures") roots_segs in
+  let seen_src = Hashtbl.create 64 in
+  let units =
+    List.filter_map
+      (fun cmt_path ->
+        match Cmt_format.read_cmt cmt_path with
+        | exception _ -> None  (* stale or foreign-compiler artifact *)
+        | infos ->
+          (match infos.Cmt_format.cmt_annots, infos.Cmt_format.cmt_sourcefile with
+           | Cmt_format.Implementation str, Some s when Filename.check_suffix s ".ml" ->
+             (match resolve_source ~builddir:infos.Cmt_format.cmt_builddir ~cmt_path s with
+              | None -> None
+              | Some src_path ->
+                let abs = absolutize src_path in
+                if Hashtbl.mem seen_src abs then None
+                else begin
+                  Hashtbl.add seen_src abs ();
+                  let src_segs = path_segs abs in
+                  if not (in_scope ~roots_segs ~allow_fixtures src_segs) then None
+                  else
+                    match read_file src_path with
+                    | exception Sys_error _ -> None
+                    | content ->
+                      Some
+                        { Typed_common.cmt_path;
+                          src_path;
+                          src_segs;
+                          content;
+                          str }
+                end)
+           | _ -> None))
+      cmts
+  in
+  { units =
+      List.sort
+        (fun (a : Typed_common.unit_info) b -> String.compare a.src_path b.src_path)
+        units;
+    cmts_seen = List.length cmts }

@@ -1,0 +1,372 @@
+(* SECFLOW01: taint tracking over the typedtree.
+
+   Secrets enter as
+   - values of a secret TYPE ([Paillier.secret], [Drbg.t], [Keyring.t],
+     scheme keys — [Typed_common.secret_types]), detected from
+     [exp_type] wherever they appear, including record-field reads;
+   - results of source FUNCTIONS ([Keyring.master], [Hmac.derive], and —
+     inside [lib/] only — the [*.decrypt*] family, whose results are
+     plaintexts; the CLI in [bin/] prints decrypted results by design);
+   - binders annotated [@secret] (how the encryptor marks the plaintext
+     constants flowing through it).
+
+   Taint survives serializers ([String.*]/[Bytes.*], [sprintf], [^],
+   [to_string]-suffixed functions), dies at declassifiers ([Ct.redact],
+   [*length]/[*bits]-named functions) and at any UNKNOWN function —
+   deliberately: applying an encryption function to a key yields a
+   public ciphertext, and laundering at unknown calls is what keeps the
+   rule's false-positive rate near zero.  A tainted value reaching a
+   sink ([Printf]/[Format] output, [Obs] span/metric names,
+   [Printf.ksprintf]-style opaque continuations, [Fault.Error] or
+   exception payloads) is a finding.
+
+   Interprocedural step: every toplevel (and named local) function gets
+   a summary computed from per-parameter intra-procedural runs —
+
+     base run   params seeded only when secret-typed or [@secret]
+     run(i)     base seeding plus parameter [i] forced tainted
+
+     s_returns        = base result tainted     (function is a source)
+     s_propagates.(i) = run(i) result tainted and base result not
+                        (taint flows through parameter [i])
+     s_arg_sink.(i)   = run(i) hit strictly more sinks than the base
+                        run (a tainted argument in position [i] reaches
+                        a sink inside; the finding is reported at the
+                        call site)
+
+   Per-parameter vectors matter: [det_inv ~purpose s] sinks [s] but
+   merely forwards [purpose] to a laundering key derivation, so a call
+   passing a secret-derived [purpose] and a public ciphertext [s] is
+   clean — a single any-argument bit would flag every such call.  Format
+   functions ([err fmt] built on [ksprintf]) are applied to more
+   arguments than their summarized arity; excess positions inherit the
+   last parameter's flags, which is exactly how a format string consumes
+   its variadic tail.
+
+   Summaries reach a fixpoint over a few bounded passes (recursion and
+   mutual recursion converge; unknown callees stay laundering), then one
+   final emitting pass produces the findings.  Known blind spots (see
+   DESIGN.md §13): closures passed through higher-order functions, taint
+   through [Hashtbl]-cached values, cross-module summaries (table-listed
+   sources/sinks only). *)
+
+module C = Typed_common
+
+type summary = {
+  s_returns : bool;
+  s_propagates : bool array;  (* per parameter position *)
+  s_arg_sink : bool array;  (* per parameter position *)
+}
+
+(* excess arguments (format-style application) inherit the last flag *)
+let flag_at arr i =
+  let n = Array.length arr in
+  if n = 0 then false else if i < n then arr.(i) else arr.(n - 1)
+
+type st = {
+  path : string;
+  decrypt_sources : bool;  (* decrypt results are secret here (lib/) *)
+  summaries : (string, summary) Hashtbl.t;  (* Ident.unique_name -> summary *)
+  mutable emitting : bool;
+  mutable hits : int;  (* sink hits, counted even when not emitting *)
+  mutable findings : Rule.finding list;
+}
+
+type env = (string, unit) Hashtbl.t  (* tainted idents, by unique name *)
+
+let sink st (loc : Location.t) msg =
+  st.hits <- st.hits + 1;
+  if st.emitting then
+    st.findings <- C.at "SECFLOW01" Rule.Error ~path:st.path loc msg :: st.findings
+
+let is_error_channel (cstr : Types.constructor_description) =
+  C.type_is C.error_types cstr.Types.cstr_res
+  ||
+  (match C.type_head_segs cstr.Types.cstr_res with
+   | Some [ "exn" ] -> true
+   | _ -> false)
+
+let serializer_head segs =
+  C.any_suffix C.serializer_fns segs
+  ||
+  (match segs with
+   | m :: _ :: _ -> List.exists (fun p -> List.equal String.equal p [ m ]) C.serializer_prefixes
+   | _ -> false)
+
+let rec eval st (env : env) (e : Typedtree.expression) : bool =
+  let open Typedtree in
+  let by_structure =
+    match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) -> Hashtbl.mem env (Ident.unique_name id)
+    | Texp_ident _ | Texp_constant _ | Texp_unreachable -> false
+    | Texp_let (_, vbs, body) ->
+      List.iter (eval_binding st env) vbs;
+      eval st env body
+    | Texp_function { cases; _ } ->
+      (* an inline closure: analyze the body (it may sink on its own),
+         but the closure value itself is not printable data *)
+      List.iter
+        (fun c ->
+          bind_pattern st env ~forced:false c.c_lhs;
+          Option.iter (fun g -> ignore (eval st env g)) c.c_guard;
+          ignore (eval st env c.c_rhs))
+        cases;
+      false
+    | Texp_apply (fn, args) -> eval_apply st env e fn args
+    | Texp_match (scrut, cases, _) ->
+      let t = eval st env scrut in
+      List.fold_left
+        (fun acc c ->
+          bind_pattern st env ~forced:t c.c_lhs;
+          Option.iter (fun g -> ignore (eval st env g)) c.c_guard;
+          eval st env c.c_rhs || acc)
+        false cases
+    | Texp_try (body, cases) ->
+      let t = eval st env body in
+      List.fold_left
+        (fun acc c ->
+          bind_pattern st env ~forced:false c.c_lhs;
+          Option.iter (fun g -> ignore (eval st env g)) c.c_guard;
+          eval st env c.c_rhs || acc)
+        t cases
+    | Texp_tuple es | Texp_array es ->
+      List.fold_left (fun acc x -> eval st env x || acc) false es
+    | Texp_construct (_, cstr, args) ->
+      let any =
+        List.fold_left (fun acc a -> eval st env a || acc) false args
+      in
+      if any && is_error_channel cstr then
+        sink st e.exp_loc
+          (Printf.sprintf
+             "secret-tainted value in %s payload (error messages are rendered \
+              verbatim; redact with Crypto.Ct.redact or a length)"
+             cstr.Types.cstr_name);
+      any
+    | Texp_variant (_, arg) ->
+      (match arg with Some a -> eval st env a | None -> false)
+    | Texp_record { fields; extended_expression; _ } ->
+      let base =
+        match extended_expression with Some b -> eval st env b | None -> false
+      in
+      Array.fold_left
+        (fun acc (_, def) ->
+          match def with
+          | Overridden (_, fe) -> eval st env fe || acc
+          | _ -> acc)
+        base fields
+    | Texp_field (e0, _, _) -> eval st env e0
+    | Texp_setfield (e0, _, _, e1) ->
+      ignore (eval st env e0);
+      ignore (eval st env e1);
+      false
+    | Texp_ifthenelse (c, a, b) ->
+      ignore (eval st env c);
+      let ta = eval st env a in
+      let tb = match b with Some b -> eval st env b | None -> false in
+      ta || tb
+    | Texp_sequence (a, b) ->
+      ignore (eval st env a);
+      eval st env b
+    | Texp_open (_, body) -> eval st env body
+    | _ ->
+      (* conservative fallback: walk the immediate children so nested
+         sinks are still found; the node's own value is treated public *)
+      let it =
+        { Tast_iterator.default_iterator with
+          expr = (fun _ sub -> ignore (eval st env sub)) }
+      in
+      Tast_iterator.default_iterator.expr it e;
+      false
+  in
+  by_structure || C.type_is C.secret_types e.exp_type
+
+and eval_apply st env e fn args =
+  let argsE = C.arg_exprs args in
+  let eval_all () = List.iter (fun a -> ignore (eval st env a)) argsE in
+  match C.head_of_apply fn with
+  | None ->
+    ignore (eval st env fn);
+    eval_all ();
+    false
+  | Some segs ->
+    if C.is_declassifier segs then begin
+      eval_all ();  (* arguments are declassified, but walk for nested sinks *)
+      false
+    end
+    else if
+      C.any_suffix C.source_fns_always segs
+      || (st.decrypt_sources && C.any_suffix C.source_fns_lib_only segs)
+    then begin
+      eval_all ();
+      true
+    end
+    else if C.any_suffix C.sink_fns segs then begin
+      List.iter
+        (fun (a : Typedtree.expression) ->
+          if eval st env a then
+            sink st a.Typedtree.exp_loc
+              (Printf.sprintf
+                 "secret-tainted value reaches %s (declassify with \
+                  Crypto.Ct.redact or a length/digest first)"
+                 (C.segs_to_string segs)))
+        argsE;
+      false
+    end
+    else if serializer_head segs then
+      List.fold_left (fun acc a -> eval st env a || acc) false argsE
+    else begin
+      match fn.Typedtree.exp_desc with
+      | Typedtree.Texp_ident (Path.Pident id, _, _) -> begin
+        match Hashtbl.find_opt st.summaries (Ident.unique_name id) with
+        | Some s ->
+          ignore e;
+          let taints = List.map (fun a -> eval st env a) argsE in
+          List.iteri
+            (fun i ((a : Typedtree.expression), t) ->
+              if t && flag_at s.s_arg_sink i then
+                sink st a.Typedtree.exp_loc
+                  (Printf.sprintf
+                     "secret-tainted argument flows to a sink inside %s"
+                     (Ident.name id)))
+            (List.combine argsE taints);
+          s.s_returns
+          || List.exists
+               (fun (i, t) -> t && flag_at s.s_propagates i)
+               (List.mapi (fun i t -> (i, t)) taints)
+        | None ->
+          eval_all ();
+          false
+      end
+      | _ ->
+        (* unknown function: taint is laundered (applying a key yields a
+           public ciphertext — the common case in this tree) *)
+        eval_all ();
+        false
+    end
+
+and bind_pattern :
+  type k. st -> env -> forced:bool -> k Typedtree.general_pattern -> unit =
+ fun _st env ~forced pat ->
+  List.iter
+    (fun (id, attrs, ty) ->
+      if forced || C.has_attr "secret" attrs || C.type_is C.secret_types ty then
+        Hashtbl.replace env (Ident.unique_name id) ())
+    (C.pattern_binders pat)
+
+and eval_binding st env (vb : Typedtree.value_binding) =
+  match vb.Typedtree.vb_pat.Typedtree.pat_desc, vb.Typedtree.vb_expr.Typedtree.exp_desc with
+  | Typedtree.Tpat_var (id, _), Typedtree.Texp_function _ ->
+    (* named local function: give it a summary so taint survives calls
+       through it (the "taint through a helper" case) *)
+    let sum = summarize_function st env vb.Typedtree.vb_expr ~emit_base:true in
+    Hashtbl.replace st.summaries (Ident.unique_name id) sum
+  | _ ->
+    let t = eval st env vb.Typedtree.vb_expr in
+    let forced = t || C.has_attr "secret" vb.Typedtree.vb_attributes in
+    bind_pattern st env ~forced vb.Typedtree.vb_pat
+
+(* evaluate a function expression's body, peeling curried parameters.
+   The binders of peel depth [i] are forced tainted when [taint_pos] is
+   [Some i]; all other seeding is the base rule (secret-typed or
+   [@secret]).  Returns whether any leaf body is tainted. *)
+and function_result st (env : env) fexp ~taint_pos =
+  let rec go depth (e : Typedtree.expression) =
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_function { cases; _ } ->
+      List.fold_left
+        (fun acc (c : Typedtree.value Typedtree.case) ->
+          bind_pattern st env ~forced:(taint_pos = Some depth) c.Typedtree.c_lhs;
+          Option.iter (fun g -> ignore (eval st env g)) c.Typedtree.c_guard;
+          go (depth + 1) c.Typedtree.c_rhs || acc)
+        false cases
+    | _ -> eval st env e
+  in
+  go 0 fexp
+
+(* curried arity: how many parameter positions the summary vectors cover *)
+and peel_arity (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_function { cases; _ } ->
+    1
+    + List.fold_left
+        (fun m (c : Typedtree.value Typedtree.case) ->
+          max m (peel_arity c.Typedtree.c_rhs))
+        0 cases
+  | _ -> 0
+
+and summarize_function st (outer_env : env) fexp ~emit_base =
+  let saved = st.emitting in
+  let arity = peel_arity fexp in
+  (* base run: this is the function as written, so inherent findings are
+     real — emit them (when the surrounding pass is emitting) *)
+  st.emitting <- saved && emit_base;
+  let h0 = st.hits in
+  let r0 = function_result st (Hashtbl.copy outer_env) fexp ~taint_pos:None in
+  let c_base = st.hits - h0 in
+  (* per-parameter runs, always silent *)
+  st.emitting <- false;
+  let s_propagates = Array.make arity false in
+  let s_arg_sink = Array.make arity false in
+  for i = 0 to arity - 1 do
+    let h = st.hits in
+    let r = function_result st (Hashtbl.copy outer_env) fexp ~taint_pos:(Some i) in
+    s_arg_sink.(i) <- st.hits - h > c_base;
+    s_propagates.(i) <- r && not r0
+  done;
+  st.emitting <- saved;
+  { s_returns = r0; s_propagates; s_arg_sink }
+
+(* ---- structure traversal ---- *)
+
+let rec analyze_items st (env : env) items =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.Typedtree.str_desc with
+      | Typedtree.Tstr_value (_, vbs) -> List.iter (eval_binding st env) vbs
+      | Typedtree.Tstr_eval (e, _) -> ignore (eval st env e)
+      | Typedtree.Tstr_module mb ->
+        (match mb.Typedtree.mb_expr.Typedtree.mod_desc with
+         | Typedtree.Tmod_structure str -> analyze_items st env str.Typedtree.str_items
+         | _ -> ())
+      | _ -> ())
+    items
+
+let dedupe findings =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (f : Rule.finding) ->
+      let key = (f.Rule.line, f.Rule.col, f.Rule.message) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    findings
+
+let analyze (u : C.unit_info) : Rule.finding list =
+  let st =
+    { path = u.C.src_path;
+      decrypt_sources = C.under [ "lib" ] u;
+      summaries = Hashtbl.create 64;
+      emitting = false;
+      hits = 0;
+      findings = [] }
+  in
+  let snapshot () =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.summaries []
+    |> List.sort compare
+  in
+  (* silent fixpoint over summaries (bounded: recursion converges fast) *)
+  let rec iterate n prev =
+    let env : env = Hashtbl.create 32 in
+    analyze_items st env u.C.str.Typedtree.str_items;
+    let cur = snapshot () in
+    if n < 4 && cur <> prev then iterate (n + 1) cur
+  in
+  iterate 0 [];
+  (* final emitting pass *)
+  st.emitting <- true;
+  st.findings <- [];
+  let env : env = Hashtbl.create 32 in
+  analyze_items st env u.C.str.Typedtree.str_items;
+  dedupe (List.rev st.findings)
