@@ -643,6 +643,101 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Print the derived Table I rows.")
     Term.(const table1 $ const ())
 
+(* ---- client: drive a running dpe_serve over the wire protocol ---- *)
+
+let client host port op_s tenant m algo k eps deadline_ms retries attempts path =
+  let op =
+    match Server.Proto.op_of_string op_s with
+    | Some op -> op
+    | None ->
+      Printf.eprintf "unknown op %S (encrypt, mine, stats or health)\n%!" op_s;
+      exit 2
+  in
+  let queries =
+    match op with
+    | Server.Proto.Encrypt | Server.Proto.Mine -> (
+      match path with
+      | Some p -> read_lines p
+      | None ->
+        Printf.eprintf "op %s needs a LOG argument\n%!" op_s;
+        exit 2)
+    | Server.Proto.Stats | Server.Proto.Health -> []
+  in
+  match Server.Client.connect ~host ~port () with
+  | Error e ->
+    Printf.eprintf "connect %s:%d: %s\n%!" host port (Fault.Error.to_string e);
+    exit 1
+  | Ok c ->
+    let req =
+      { Server.Proto.id = Server.Client.fresh_id c; op; tenant; measure = m;
+        algo; k; eps;
+        deadline_ms = (if deadline_ms > 0 then Some deadline_ms else None);
+        retries; queries }
+    in
+    let policy = { Fault.Retry.default with Fault.Retry.attempts } in
+    let r =
+      Server.Client.call_retry ~policy c (Server.Proto.request_to_json req)
+    in
+    Server.Client.close c;
+    (match r with
+     | Ok resp ->
+       print_endline (Server.Proto.render resp);
+       (match Server.Proto.response_status resp with
+        | "ok" | "partial" -> ()
+        | _ -> exit 1)
+     | Error e ->
+       Printf.eprintf "%s\n%!" (Fault.Error.to_string e);
+       exit 1)
+
+let client_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server address.")
+  in
+  let port =
+    Arg.(value & opt int 7464 & info [ "port" ] ~doc:"Server port.")
+  in
+  let op =
+    Arg.(value & opt string "mine"
+         & info [ "op" ] ~docv:"OP" ~doc:"encrypt, mine, stats or health.")
+  in
+  let tenant =
+    Arg.(value & opt string "default"
+         & info [ "tenant" ] ~doc:"Tenant key namespace on the server.")
+  in
+  let algo =
+    Arg.(value & opt string "clink"
+         & info [ "algo" ] ~doc:"mine: clink, dbscan, kmedoids or outliers.")
+  in
+  let k = Arg.(value & opt int 4 & info [ "k" ] ~doc:"mine: cluster count.") in
+  let eps =
+    Arg.(value & opt float 0.45
+         & info [ "eps" ] ~doc:"mine: DBSCAN radius / outlier threshold.")
+  in
+  let deadline =
+    Arg.(value & opt int 0
+         & info [ "deadline-ms" ] ~doc:"Request deadline (0 = server default).")
+  in
+  let retries =
+    Arg.(value & opt int 1
+         & info [ "retries" ] ~doc:"Server-side per-item retry budget.")
+  in
+  let attempts =
+    Arg.(value & opt int 4
+         & info [ "attempts" ]
+             ~doc:"Client attempts when shed with Overloaded (backoff \
+                   honors the server's retry_after_ms hint).")
+  in
+  let log =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"LOG" ~doc:"Query log (encrypt/mine only).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running dpe_serve and print the \
+             JSON response (exit 1 on error/overloaded).")
+    Term.(const client $ host $ port $ op $ tenant $ measure_arg $ algo $ k
+          $ eps $ deadline $ retries $ attempts $ log)
+
 (* ---- chaos: a seeded fault-injection run with an invariant report ----
 
    Arms each compiled-in injection point in turn against a deterministic
@@ -861,6 +956,175 @@ let chaos seed rows domains report_path =
     (render (Dpe.Db_encryptor.encrypt_database enc db) = baseline)
     "ciphertext differs from baseline";
 
+  (* 9. server: a live dpe_serve loop (DESIGN.md §14) — every request
+     answered under an armed schedule, typed Overloaded sheds, faults-off
+     response stream bit-identical across fresh instances, graceful
+     drain completes *)
+  let with_server cfg f =
+    match Server.Engine.start cfg with
+    | Error e ->
+      check "server: start" false (Fault.Error.to_string e);
+      None
+    | Ok t ->
+      Some
+        (Fun.protect
+           ~finally:(fun () ->
+             Server.Engine.request_drain t;
+             Server.Engine.wait t)
+           (fun () -> f t))
+  in
+  let server_cfg =
+    { Server.Engine.default_config with
+      Server.Engine.workers = 2; queue_capacity = 8; master = "chaos" }
+  in
+  let sql = Array.of_list (List.map Sqlir.Printer.to_string log) in
+  let queries_for i = Array.to_list (Array.sub sql (i mod 4) 8) in
+  let mk ~id ~op ?deadline_ms queries =
+    Server.Proto.request_to_json
+      { Server.Proto.id; op; tenant = "chaos"; measure = M.Token;
+        algo = "clink"; k = 3; eps = 0.45; deadline_ms; retries = 1; queries }
+  in
+  let call_all t reqs =
+    match Server.Client.connect ~port:(Server.Engine.port t) () with
+    | Error e -> List.map (fun _ -> Error e) reqs
+    | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () -> List.map (Server.Client.call c) reqs)
+  in
+  let renderings rs =
+    List.filter_map
+      (function Ok j -> Some (Server.Proto.render j) | Error _ -> None)
+      rs
+  in
+  let statuses rs =
+    List.filter_map
+      (function Ok j -> Some (Server.Proto.response_status j) | Error _ -> None)
+      rs
+  in
+  (* 9a. faults off: two fresh instances (fresh tenant keys, same DRBG
+     streams) answer an identical workload bit-identically *)
+  let baseline_reqs =
+    List.init 12 (fun i ->
+        let id = i + 1 in
+        match i mod 3 with
+        | 0 -> mk ~id ~op:Server.Proto.Encrypt (queries_for i)
+        | 1 -> mk ~id ~op:Server.Proto.Mine (queries_for i)
+        | _ -> mk ~id ~op:Server.Proto.Health [])
+  in
+  let run_srv_baseline () =
+    with_server server_cfg (fun t -> call_all t baseline_reqs)
+  in
+  (match run_srv_baseline (), run_srv_baseline () with
+   | Some ra, Some rb ->
+     check "server: every baseline request answered"
+       (List.length (renderings ra) = List.length baseline_reqs)
+       (Printf.sprintf "%d of %d responses" (List.length (renderings ra))
+          (List.length baseline_reqs));
+     check "server: faults-off response stream bit-identical"
+       (renderings ra = renderings rb) "response streams differ"
+   | _ -> ());
+  (* 9b. armed: a seeded 200-request mixed workload — exactly 200 typed
+     responses (requests in = responses out), deterministic Overloaded
+     sheds from the admission point, degraded mines surface as
+     partial/error, rerun gives the same statuses (deadline-carrying
+     requests excepted: their outcome is timing-dependent by design) *)
+  let armed_reqs =
+    List.init 200 (fun i ->
+        let id = i + 1 in
+        match i mod 5 with
+        | 0 -> mk ~id ~op:Server.Proto.Encrypt (queries_for i)
+        | 1 -> mk ~id ~op:Server.Proto.Mine (queries_for i)
+        | 2 -> mk ~id ~op:Server.Proto.Health []
+        | 3 -> mk ~id ~op:Server.Proto.Mine ~deadline_ms:1 (queries_for i)
+        | _ -> mk ~id ~op:Server.Proto.Stats [])
+  in
+  let armed_spec = "server.admission=every:11;distance.features.build=every:4" in
+  let run_srv_armed () =
+    staged armed_spec (fun () ->
+        with_server server_cfg (fun t -> call_all t armed_reqs))
+  in
+  let req_counter () =
+    Obs.Metric.value (Obs.Registry.counter "kitdpe.server.requests")
+  in
+  let resp_counter () =
+    Obs.Metric.value (Obs.Registry.counter "kitdpe.server.responses")
+  in
+  let req0 = req_counter () and resp0 = resp_counter () in
+  (match run_srv_armed (), run_srv_armed () with
+   | Some ra, Some rb ->
+     let sa = statuses ra in
+     check "server: 200 requests in, 200 responses out under faults"
+       (List.length sa = List.length armed_reqs)
+       (Printf.sprintf "%d responses" (List.length sa));
+     check "server: every response status typed"
+       (List.for_all
+          (fun s -> List.mem s [ "ok"; "partial"; "error"; "overloaded" ])
+          sa)
+       "unknown status";
+     check "server: armed admission point sheds with typed Overloaded"
+       (List.mem "overloaded" sa) "no shed observed";
+     check "server: degraded requests surface as partial or typed error"
+       (List.exists (fun s -> s = "partial" || s = "error") sa)
+       "no degradation observed";
+     let stable rs =
+       List.filteri (fun i _ -> i mod 5 <> 3) (statuses rs)
+     in
+     check "server: identical statuses on rerun (deadlines excepted)"
+       (List.length sa = List.length armed_reqs
+        && List.length (statuses rb) = List.length armed_reqs
+        && stable ra = stable rb)
+       "status streams differ";
+     check "server: requests counter equals responses counter"
+       (req_counter () - req0 = resp_counter () - resp0)
+       (Printf.sprintf "%d requests vs %d responses" (req_counter () - req0)
+          (resp_counter () - resp0))
+   | _ -> ());
+  (* 9c. wire garbage: a framed non-JSON payload gets a typed protocol
+     error and the session keeps serving *)
+  (match
+     with_server server_cfg (fun t ->
+         let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+         Fun.protect
+           ~finally:(fun () ->
+             try Unix.close fd with Unix.Unix_error _ -> ())
+           (fun () ->
+             Unix.connect fd
+               (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.Engine.port t));
+             let garbage_kind =
+               match Server.Frame.write fd "this is not json" with
+               | Error _ -> None
+               | Ok () -> (
+                 match Server.Frame.read fd with
+                 | Ok (Some p) -> (
+                   match Obs.Json.parse p with
+                   | Ok j ->
+                     Option.bind (Obs.Json.member "error_kind" j)
+                       Obs.Json.to_str
+                   | Error _ -> None)
+                 | _ -> None)
+             in
+             let alive =
+               match
+                 Server.Frame.write fd
+                   (Server.Proto.render (mk ~id:99 ~op:Server.Proto.Health []))
+               with
+               | Error _ -> false
+               | Ok () -> (
+                 match Server.Frame.read fd with
+                 | Ok (Some _) -> true
+                 | _ -> false)
+             in
+             (garbage_kind, alive)))
+   with
+   | Some (kind, alive) ->
+     check "server: garbage payload yields typed protocol error"
+       (kind = Some "protocol")
+       (match kind with Some k -> "kind " ^ k | None -> "no response");
+     check "server: session survives a protocol error" alive
+       "session closed after garbage payload"
+   | None -> ());
+
   note "# counters: injected=%d caught=%d retried=%d"
     (Obs.Metric.value (Obs.Registry.counter "kitdpe.fault.injected"))
     (Obs.Metric.value (Obs.Registry.counter "kitdpe.fault.caught"))
@@ -902,6 +1166,6 @@ let main =
     [ generate_cmd; profile_cmd; select_cmd; encrypt_cmd; decrypt_cmd;
       verify_cmd; mine_cmd; attack_cmd; cryptdb_cmd; table1_cmd;
       normalize_cmd; export_db_cmd; rules_cmd; sessions_cmd; stats_cmd;
-      top_cmd; chaos_cmd ]
+      top_cmd; client_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

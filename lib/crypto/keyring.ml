@@ -19,5 +19,8 @@ let join_det t group = Join_enc.det_key ~master:t.master group
 let join_ope t ?(params = Ope.default_params) group =
   Join_enc.ope_key ~master:t.master group params
 
+let derive t ns =
+  { master = Hmac.derive ~master:t.master ~purpose:("kitdpe/tenant/" ^ ns) 32 }
+
 let drbg t purpose =
   Drbg.create ~seed:(Hmac.derive ~master:t.master ~purpose:("drbg/" ^ purpose) 32)

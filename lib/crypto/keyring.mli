@@ -11,6 +11,14 @@ val of_passphrase : string -> t
 (** Stretch a passphrase into a master key (iterated hashing). *)
 
 val master : t -> string
+
+val derive : t -> string -> t
+(** [derive t ns] is an independent sub-keyring for namespace [ns]
+    (HKDF of the master under ["kitdpe/tenant/" ^ ns]).  Used by the
+    server to give each tenant its own key universe from one master:
+    [derive t "a"] and [derive t "b"] share no derivable material, and
+    the same [ns] always yields the same keyring. *)
+
 val det : t -> string -> Det.key
 val prob : t -> string -> Prob.key
 val ope : t -> ?params:Ope.params -> string -> Ope.key

@@ -65,26 +65,39 @@ let encrypt_table_r ?pool ?(retries = 0) enc table =
   let rows = Array.of_list (Table.rows table) in
   let t0 = Obs.time_start () in
   let encrypt_row i row =
-    let rec attempt k =
+    (* [mapi_array] is a plain (deadline-blind) combinator, so the row
+       closure enforces the request deadline itself: rows starting after
+       expiry are abandoned as typed errors, releasing the lane *)
+    if Parallel.Pool.deadline_expired () then
+      Error
+        (Fault.Error.Deadline_exceeded { context = "Dpe.Db_encryptor.encrypt_row" })
+    else begin
+      let attempt_row ~attempt =
+        let k = attempt - 1 in
+        match
+          (* the row injection point fires on the first attempt only, so a
+             bounded retry demonstrably recovers from transient faults;
+             faults injected deeper (keyed on plaintext) recur on every
+             attempt and exhaust the budget, as a persistent fault should *)
+          if k = 0 then Fault.point ~key:i "dpe.db_encryptor.row";
+          let rng = Encryptor.row_rng ~attempt:k enc ~rel i in
+          Array.mapi (fun c v -> encoders.(c) ~rng ~row:i v) row
+        with
+        | cipher -> Ok cipher
+        | exception e ->
+          Error (Fault.Error.of_exn ~context:"Dpe.Db_encryptor.encrypt_row" e)
+      in
       match
-        (* the row injection point fires on the first attempt only, so a
-           bounded retry demonstrably recovers from transient faults;
-           faults injected deeper (keyed on plaintext) recur on every
-           attempt and exhaust the budget, as a persistent fault should *)
-        if k = 0 then Fault.point ~key:i "dpe.db_encryptor.row";
-        let rng = Encryptor.row_rng ~attempt:k enc ~rel i in
-        Array.mapi (fun c v -> encoders.(c) ~rng ~row:i v) row
+        Fault.Retry.run_n
+          ~policy:(Fault.Retry.immediate (retries + 1))
+          ~should_abort:Parallel.Pool.deadline_expired
+          ~key:(Printf.sprintf "%s/row/%d" rel i)
+          attempt_row
       with
-      | cipher -> Ok cipher
-      | exception e ->
-        let cause = Fault.Error.of_exn ~context:"Dpe.Db_encryptor.encrypt_row" e in
-        if k < retries then begin
-          Fault.count_retry ();
-          attempt (k + 1)
-        end
-        else Error (Fault.Error.Row_failed { rel; row = i; attempts = k + 1; cause })
-    in
-    attempt 0
+      | Ok cipher -> Ok cipher
+      | Error (attempts, cause) ->
+        Error (Fault.Error.Row_failed { rel; row = i; attempts; cause })
+    end
   in
   let results = Parallel.Pool.mapi_array pool encrypt_row rows in
   let cipher_rows = ref [] and errors = ref [] in

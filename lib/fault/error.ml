@@ -20,6 +20,10 @@ type t =
   | Io_failure of { path : string; reason : string }
   | Invariant of { context : string; reason : string }
   | Unexpected of { context : string; exn : string }
+  | Deadline_exceeded of { context : string }
+  | Overloaded of { queue_depth : int; retry_after_ms : int }
+  | Protocol of { reason : string }
+  | Draining
 
 exception E of t
 
@@ -47,6 +51,13 @@ let rec to_string = function
     Printf.sprintf "invariant violated in %s: %s" context reason
   | Unexpected { context; exn } ->
     Printf.sprintf "unexpected exception in %s: %s" context exn
+  | Deadline_exceeded { context } ->
+    Printf.sprintf "deadline exceeded in %s" context
+  | Overloaded { queue_depth; retry_after_ms } ->
+    Printf.sprintf "overloaded: admission queue full (depth %d), retry after %d ms"
+      queue_depth retry_after_ms
+  | Protocol { reason } -> Printf.sprintf "protocol error: %s" reason
+  | Draining -> "server draining: no new work accepted"
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 
@@ -60,7 +71,8 @@ let rec injected_points = function
   | Row_failed { cause; _ } | Task_failed { cause; _ } -> injected_points cause
   | Crypto_failure _ | Ope_range_exhausted _ | Paillier_mismatch _
   | Csv_malformed _ | Pool_lane_crash _ | Io_failure _ | Invariant _
-  | Unexpected _ -> []
+  | Unexpected _ | Deadline_exceeded _ | Overloaded _ | Protocol _
+  | Draining -> []
 
 (* layers register translators for their own exception constructors so
    [of_exn] can map e.g. [Encrypt_error] to [Crypto_failure] without

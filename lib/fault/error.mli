@@ -23,6 +23,20 @@ type t =
   | Io_failure of { path : string; reason : string }
   | Invariant of { context : string; reason : string }
   | Unexpected of { context : string; exn : string }
+  | Deadline_exceeded of { context : string }
+      (** A request (or batch) ran past its deadline; [context] names the
+          layer that abandoned the work.  Deliberately carries no
+          timestamps so seeded chaos reports stay bit-reproducible. *)
+  | Overloaded of { queue_depth : int; retry_after_ms : int }
+      (** Load shed at admission: the bounded queue was full (or the
+          [server.admission] fault point simulated it).  Clients should
+          back off at least [retry_after_ms] before resubmitting. *)
+  | Protocol of { reason : string }
+      (** Malformed wire traffic: bad frame length, oversized frame,
+          unparseable payload, unknown request shape. *)
+  | Draining
+      (** The server is in graceful shutdown and admits no new work;
+          in-flight requests still complete. *)
 
 exception E of t
 (** The one exception the migrated layers raise when a [result] surface

@@ -1,5 +1,6 @@
 module Error = Error
 module Inject = Inject
+module Retry = Retry
 
 let enabled () = Atomic.get Inject.enabled
 

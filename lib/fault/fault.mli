@@ -14,6 +14,7 @@
 
 module Error = Error
 module Inject = Inject
+module Retry = Retry
 
 val enabled : unit -> bool
 (** True iff at least one injection point is armed. *)

@@ -39,14 +39,38 @@ let of_fun ?pool n d =
    key independent of row scheduling *)
 let eval_key i j = (i lsl 20) lor j
 
-let of_fun_r ?pool n d =
-  let d =
+let of_fun_r ?pool ?(retries = 0) n d =
+  let d_inj =
     if Fault.enabled () then (fun i j ->
       Fault.point ~key:(eval_key i j) "mining.dist_matrix.eval";
       d i j)
     else d
   in
-  match of_fun_instrumented (Parallel.Sym_matrix.build_r ?pool) n d with
+  let d_eval =
+    if retries = 0 then d_inj
+    else fun i j ->
+      (* the injection point is consulted on the first attempt only, so a
+         bounded per-cell retry demonstrably recovers from transient
+         evaluation faults; [d] is pure, so a retried cell recomputes the
+         identical value — the matrix stays bit-identical to a fault-free
+         run whenever the retry budget absorbs every fault *)
+      let attempt_cell ~attempt =
+        match if attempt = 1 then d_inj i j else d i j with
+        | v -> Ok v
+        | exception e ->
+          Error (Fault.Error.of_exn ~context:"Mining.Dist_matrix.cell" e)
+      in
+      match
+        Fault.Retry.run
+          ~policy:(Fault.Retry.immediate (retries + 1))
+          ~should_abort:Parallel.Pool.deadline_expired
+          ~key:(Printf.sprintf "dist_matrix/%d/%d" i j)
+          attempt_cell
+      with
+      | Ok v -> v
+      | Error e -> raise (Fault.Error.E e)
+  in
+  match of_fun_instrumented (Parallel.Sym_matrix.build_r ?pool) n d_eval with
   | Ok m -> Ok m
   | Error errs ->
     Error

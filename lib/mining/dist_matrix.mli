@@ -17,6 +17,7 @@ val of_fun_seq : int -> (int -> int -> float) -> t
 
 val of_fun_r :
   ?pool:Parallel.Pool.t ->
+  ?retries:int ->
   int ->
   (int -> int -> float) ->
   (t, Fault.Error.t list) result
@@ -24,7 +25,14 @@ val of_fun_r :
     as [Task_failed {label = "dist_matrix.row"; index; cause}] while all
     other rows still compute; [Ok] only when the matrix is complete.
     Carries the ["mining.dist_matrix.eval"] injection point keyed by
-    cell coordinates. *)
+    cell coordinates.
+
+    [retries] (default 0) bounds per-cell re-evaluation via
+    {!Fault.Retry} with zero backoff: the injection point is consulted
+    on the first attempt only, so a transient injected fault is absorbed
+    and — [d] being pure — the matrix is bit-identical to a fault-free
+    build.  Cell retries never outlive the caller's
+    [Parallel.Pool.with_deadline] budget. *)
 
 val size : t -> int
 val get : t -> int -> int -> float

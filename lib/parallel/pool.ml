@@ -1,14 +1,58 @@
-(* each queued job carries the span context of its submitting batch, so
-   a worker lane can parent the task's spans on the submitter no matter
-   which domain executes it *)
+(* each queued job carries the span context AND the request deadline of
+   its submitting batch, so a worker lane can parent the task's spans on
+   the submitter and honor the submitter's deadline no matter which
+   domain executes it *)
 type t = {
   lanes : int;
   mutex : Mutex.t;
-  pending : (Obs.Span.context * (unit -> unit)) Queue.t;
+  pending : (Obs.Span.context * int * (unit -> unit)) Queue.t;
   nonempty : Condition.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
 }
+
+(* ---- deadlines ----
+
+   An absolute [Obs.now_ns]-clock deadline travels in domain-local
+   storage ([max_int] = none), exactly like the span context: the
+   submitter sets it with [with_deadline], [run_tasks] snapshots it into
+   every queued job, and [run_job] installs it on whichever lane runs
+   the job.  The crash-contained combinators check it before each index,
+   so an expired batch drains in O(remaining indices) bookkeeping — the
+   lanes are released, not orphaned on abandoned work — and every
+   skipped index is reported as a typed [Deadline_exceeded].  The plain
+   (non-[_r]) combinators are deliberately left deadline-blind: their
+   contract is bit-identical complete output, and callers that want
+   abandonment use the [_r] surfaces. *)
+
+let no_deadline = max_int
+let deadline_key = Domain.DLS.new_key (fun () -> no_deadline)
+
+let m_deadline_skips = Obs.Registry.counter "kitdpe.parallel.pool.deadline_skips"
+
+let current_deadline_ns () =
+  match Domain.DLS.get deadline_key with
+  | d when d = no_deadline -> None
+  | d -> Some d
+
+let deadline_expired () =
+  let d = Domain.DLS.get deadline_key in
+  d <> no_deadline && Obs.now_ns () > d
+
+let with_deadline ~deadline_ns f =
+  let prev = Domain.DLS.get deadline_key in
+  (* nested deadlines only tighten: an inner batch can never outlive the
+     request that submitted it *)
+  Domain.DLS.set deadline_key (min prev deadline_ns);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set deadline_key prev) f
+
+let check_deadline ~context () =
+  if deadline_expired () then
+    raise (Fault.Error.E (Fault.Error.Deadline_exceeded { context }))
+
+let deadline_error context =
+  Obs.Metric.incr m_deadline_skips;
+  Fault.Error.Deadline_exceeded { context }
 
 (* ---- observability ----
 
@@ -46,7 +90,7 @@ let lane_crashes () = Atomic.get crashes
    it (sequential paths, single-task batches) the caller's own context
    is the parent — either way the "pool.task" span and everything opened
    inside the job land in the submitter's trace. *)
-let run_job ?ctx job =
+let run_instrumented ?ctx job =
   if not (Obs.is_enabled ()) then job ()
   else begin
     let lane = Domain.DLS.get lane_key in
@@ -67,6 +111,20 @@ let run_job ?ctx job =
       ~span_id:task_ctx.Obs.Span.span ~parent_id:submit_ctx.Obs.Span.span
       ~name:"pool.task" ~ts_ns:t0 ~dur_ns:dt ()
   end
+
+(* queued jobs install the submitter's deadline on the executing lane
+   (telemetry on or off — deadlines are a correctness property); direct
+   calls ([?deadline] absent) run under the lane's own DLS state, which
+   the submitter already set via [with_deadline] *)
+let run_job ?ctx ?deadline job =
+  match deadline with
+  | None -> run_instrumented ?ctx job
+  | Some d ->
+    let prev = Domain.DLS.get deadline_key in
+    Domain.DLS.set deadline_key d;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set deadline_key prev)
+      (fun () -> run_instrumented ?ctx job)
 
 let default_domains () =
   let fallback = max 1 (Domain.recommended_domain_count () - 1) in
@@ -100,8 +158,8 @@ let rec worker_loop t =
   in
   match next () with
   | None -> ()
-  | Some (ctx, job) ->
-    run_job ~ctx job;
+  | Some (ctx, deadline, job) ->
+    run_job ~ctx ~deadline job;
     worker_loop t
 
 (* Lane supervisor: every queued job is wrapped by its batch and cannot
@@ -177,6 +235,7 @@ let run_tasks t tasks =
     let batch_ctx =
       if batch_t0 > 0 then Obs.Span.child_context submit_ctx else submit_ctx
     in
+    let submit_deadline = Domain.DLS.get deadline_key in
     let remaining = ref (List.length tasks) in
     let first_exn = ref None in
     let batch_done = Condition.create () in
@@ -192,16 +251,18 @@ let run_tasks t tasks =
       Mutex.unlock t.mutex
     in
     Mutex.lock t.mutex;
-    List.iter (fun f -> Queue.add (batch_ctx, wrap f) t.pending) tasks;
+    List.iter
+      (fun f -> Queue.add (batch_ctx, submit_deadline, wrap f) t.pending)
+      tasks;
     Condition.broadcast t.nonempty;
     (* The caller is a lane too: drain jobs (from this or any concurrent
        batch — that is what makes nested calls deadlock-free) until this
        batch is complete. *)
     let rec help () =
       match Queue.take_opt t.pending with
-      | Some (ctx, job) ->
+      | Some (ctx, deadline, job) ->
         Mutex.unlock t.mutex;
-        run_job ~ctx job;
+        run_job ~ctx ~deadline job;
         Mutex.lock t.mutex;
         if !remaining > 0 then help ()
       | None -> if !remaining > 0 then begin
@@ -281,13 +342,16 @@ let by_index (i, _) (j, _) = Int.compare i j
 let run_tasks_r t tasks =
   let errors = Atomic.make [] in
   let guard i f () =
-    match
-      Fault.point ~key:i "parallel.pool.task";
-      f ()
-    with
-    | () -> ()
-    | exception e ->
-      push_error errors i (Fault.Error.of_exn ~context:"Parallel.Pool.run_tasks_r" e)
+    if deadline_expired () then
+      push_error errors i (deadline_error "Parallel.Pool.run_tasks_r")
+    else
+      match
+        Fault.point ~key:i "parallel.pool.task";
+        f ()
+      with
+      | () -> ()
+      | exception e ->
+        push_error errors i (Fault.Error.of_exn ~context:"Parallel.Pool.run_tasks_r" e)
   in
   run_tasks t (List.mapi guard tasks);
   List.sort by_index (Atomic.get errors)
@@ -297,13 +361,17 @@ let for_range_r t n f =
   else begin
     let errors = Atomic.make [] in
     for_range t n (fun i ->
-        match
-          Fault.point ~key:i "parallel.pool.task";
-          f i
-        with
-        | () -> ()
-        | exception e ->
-          push_error errors i (Fault.Error.of_exn ~context:"Parallel.Pool.for_range_r" e));
+        if deadline_expired () then
+          push_error errors i (deadline_error "Parallel.Pool.for_range_r")
+        else
+          match
+            Fault.point ~key:i "parallel.pool.task";
+            f i
+          with
+          | () -> ()
+          | exception e ->
+            push_error errors i
+              (Fault.Error.of_exn ~context:"Parallel.Pool.for_range_r" e));
     List.sort by_index (Atomic.get errors)
   end
 
@@ -318,13 +386,16 @@ let map_range_r t n f =
     let res = Array.make n uninit in
     for_range t n (fun i ->
         res.(i) <-
-          (match
-             Fault.point ~key:i "parallel.pool.task";
-             f i
-           with
-           | v -> Ok v
-           | exception e ->
-             Obs.Metric.incr m_contained;
-             Error (Fault.Error.of_exn ~context:"Parallel.Pool.map_range_r" e)));
+          (if deadline_expired () then
+             Error (deadline_error "Parallel.Pool.map_range_r")
+           else
+             match
+               Fault.point ~key:i "parallel.pool.task";
+               f i
+             with
+             | v -> Ok v
+             | exception e ->
+               Obs.Metric.incr m_contained;
+               Error (Fault.Error.of_exn ~context:"Parallel.Pool.map_range_r" e)));
     res
   end

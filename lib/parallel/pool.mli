@@ -106,3 +106,43 @@ val lane_crashes : unit -> int
 (** Number of times a worker lane had to be respawned because an
     exception escaped a task wrapper (0 in healthy runs; not gated on
     [Obs.enabled]). *)
+
+(** {2 Deadlines}
+
+    A request-scoped absolute deadline (on the [Obs.now_ns] clock)
+    travels in domain-local storage exactly like the span context:
+    {!with_deadline} sets it on the submitting lane, {!run_tasks}
+    snapshots it into every queued job, and the executing lane installs
+    it for the job's duration — so deadline checks inside pool work see
+    the {e submitting request's} budget regardless of which domain runs
+    them, with telemetry on or off.
+
+    The crash-contained combinators ({!run_tasks_r}, {!for_range_r},
+    {!map_range_r}) check the deadline before every index: once it
+    expires, remaining indices are skipped in O(1) each and reported as
+    typed [Deadline_exceeded] errors — the batch completes immediately
+    and the lanes are released to other requests, never left grinding
+    orphaned work.  The plain combinators stay deadline-blind: their
+    contract is complete, bit-identical output.
+
+    Metrics: [kitdpe.parallel.pool.deadline_skips] counts abandoned
+    indices. *)
+
+val with_deadline : deadline_ns:int -> (unit -> 'a) -> 'a
+(** [with_deadline ~deadline_ns f] runs [f] with the absolute deadline
+    installed on the calling lane (restored afterwards, exception-safe).
+    Nested deadlines only tighten: the effective deadline is the
+    minimum of the enclosing and the new one. *)
+
+val current_deadline_ns : unit -> int option
+(** The calling lane's effective deadline, if any. *)
+
+val deadline_expired : unit -> bool
+(** True iff a deadline is installed and the clock has passed it.
+    Without a deadline this is one domain-local read. *)
+
+val check_deadline : context:string -> unit -> unit
+(** Raise [Fault.Error.E (Deadline_exceeded {context})] if
+    {!deadline_expired}.  For hand-rolled loops on the request path
+    (e.g. per-row encryption) that want the same abandonment behaviour
+    as the [_r] combinators. *)

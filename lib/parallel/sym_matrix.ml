@@ -44,10 +44,15 @@ let build_r ?pool n d =
   let errors =
     if n < par_threshold || Pool.size pool <= 1 then begin
       (* same containment contract sequentially: a failing row is
-         reported, the remaining rows are still built *)
+         reported, the remaining rows are still built — and an expired
+         request deadline abandons the remaining rows exactly like the
+         pool's _r guard would *)
       let errs = ref [] in
       for i = 0 to n - 1 do
-        match fill i with
+        match
+          Pool.check_deadline ~context:"Parallel.Sym_matrix.build_r" ();
+          fill i
+        with
         | () -> ()
         | exception e ->
           errs := (i, Fault.Error.of_exn ~context:"Parallel.Sym_matrix.build_r" e) :: !errs

@@ -1,0 +1,40 @@
+(** Blocking client for the [dpe_serve] wire protocol.
+
+    One TCP connection; requests correlate to responses by [id], so
+    several requests may be pipelined and answered out of order —
+    {!call} parks responses for other ids until their own call asks.
+
+    Not thread-safe per connection: callers that pipeline from several
+    threads should open one client each. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> (t, Fault.Error.t) result
+(** Default host is loopback. *)
+
+val close : t -> unit
+
+val call : t -> Obs.Json.t -> (Obs.Json.t, Fault.Error.t) result
+(** Send one request object and block for its response.  An ["id"]
+    field is added automatically when absent.  [Error (Io_failure _)]
+    if the server closes mid-call; [Error (Protocol _)] on an
+    unparseable response. *)
+
+val send : t -> Obs.Json.t -> (int, Fault.Error.t) result
+(** Pipelining half of {!call}: frame and send the request without
+    waiting, returning its correlation id for a later {!collect}. *)
+
+val collect : t -> int -> (Obs.Json.t, Fault.Error.t) result
+(** Block for the response with the given id, parking any other
+    responses read along the way. *)
+
+val call_retry :
+  ?policy:Fault.Retry.policy -> t -> Obs.Json.t
+  -> (Obs.Json.t, Fault.Error.t) result
+(** {!call} under a {!Fault.Retry} policy with a real sleeper: shed
+    responses (status ["overloaded"]) are retried after at least the
+    server's [retry_after_ms] hint; other errors follow
+    [Fault.Retry.retryable]. *)
+
+val fresh_id : t -> int
+(** Next unused correlation id (exposed for callers building batches). *)

@@ -1,0 +1,58 @@
+(* Length-prefixed wire framing: a 4-byte big-endian payload length
+   followed by the payload bytes.  The codec never trusts the peer: a
+   negative or oversized length prefix, a payload cut short, or a header
+   cut mid-read all surface as typed [Protocol] errors — the transport
+   can fail, but it cannot crash the process or desynchronize silently. *)
+
+let max_frame = 16 * 1024 * 1024
+
+let proto reason = Fault.Error.Protocol { reason }
+let io reason = Fault.Error.Io_failure { path = "socket"; reason }
+
+let rec write_all fd b off len =
+  if len > 0 then
+    match Unix.write fd b off len with
+    | n -> write_all fd b (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b off len
+
+let write fd payload =
+  let len = String.length payload in
+  if len > max_frame then
+    Error (proto (Printf.sprintf "frame too large (%d bytes)" len))
+  else begin
+    let b = Bytes.create (4 + len) in
+    Bytes.set_int32_be b 0 (Int32.of_int len);
+    Bytes.blit_string payload 0 b 4 len;
+    match write_all fd b 0 (4 + len) with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, _, _) -> Error (io (Unix.error_message e))
+  end
+
+(* [`Eof] only when not a single byte of the frame was consumed — EOF at
+   a frame boundary is a clean close, EOF inside a frame is truncation *)
+let rec read_exact fd b off len ~any =
+  if len = 0 then `Done
+  else
+    match Unix.read fd b off len with
+    | 0 -> if any then `Truncated else `Eof
+    | n -> read_exact fd b (off + n) (len - n) ~any:true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd b off len ~any
+    | exception Unix.Unix_error (e, _, _) -> `Err (Unix.error_message e)
+
+let read fd =
+  let hdr = Bytes.create 4 in
+  match read_exact fd hdr 0 4 ~any:false with
+  | `Eof -> Ok None
+  | `Truncated -> Error (proto "truncated frame header")
+  | `Err reason -> Error (io reason)
+  | `Done ->
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_frame then
+      Error (proto (Printf.sprintf "oversized length prefix (%d)" len))
+    else begin
+      let payload = Bytes.create len in
+      match read_exact fd payload 0 len ~any:true with
+      | `Done -> Ok (Some (Bytes.unsafe_to_string payload))
+      | `Eof | `Truncated -> Error (proto "truncated frame payload")
+      | `Err reason -> Error (io reason)
+    end

@@ -1,0 +1,28 @@
+(** Length-prefixed wire framing for the [dpe_serve] protocol: each
+    message is a 4-byte big-endian payload length followed by that many
+    payload bytes.
+
+    Robustness contract (DESIGN.md §14): malformed traffic — negative or
+    oversized length prefixes, frames cut short by a disconnect — comes
+    back as a typed [Protocol] error, never as an exception escaping to
+    the caller; transport-level failures (reset, broken pipe) come back
+    as [Io_failure].  A frame-level [Protocol] error means the byte
+    stream cannot be resynchronized and the session must be closed; a
+    payload that frames correctly but fails to parse leaves the session
+    usable. *)
+
+val max_frame : int
+(** Upper bound on a payload (16 MiB).  A length prefix beyond it is
+    rejected before any allocation — a hostile 2 GiB prefix costs
+    nothing. *)
+
+val read : Unix.file_descr -> (string option, Fault.Error.t) result
+(** Read one frame.  [Ok None] on a clean EOF at a frame boundary (peer
+    closed between requests); [Error (Protocol _)] on truncation or a
+    bad length prefix; [Error (Io_failure _)] on transport errors.
+    Retries [EINTR] internally. *)
+
+val write : Unix.file_descr -> string -> (unit, Fault.Error.t) result
+(** Write one frame, handling short writes and [EINTR].  [Error
+    (Protocol _)] if the payload exceeds {!max_frame}, [Error
+    (Io_failure _)] if the peer is gone. *)

@@ -1,0 +1,56 @@
+(** JSON wire vocabulary of the [dpe_serve] protocol.
+
+    Payloads are {!Obs.Json.t} values; {!render} is the inverse of
+    [Obs.Json.parse].  A request names an operation, a tenant, and the
+    mining parameters; a response carries the request's [id], a
+    [status] of ["ok"], ["partial"], ["error"] or ["overloaded"], and —
+    on anything but ["ok"] — a machine-readable [error_kind] plus the
+    deterministic rendering of the typed error.  Responses carry no
+    timestamps, so a seeded workload's response stream is
+    bit-reproducible (the chaos invariant of DESIGN.md §14). *)
+
+val render : Obs.Json.t -> string
+(** RFC 8259 serialization; integers within 2^53 print without a
+    fractional part, so values round-trip through [Obs.Json.parse]. *)
+
+type op = Encrypt | Mine | Stats | Health
+
+val op_to_string : op -> string
+val op_of_string : string -> op option
+
+type request = {
+  id : int;                (** client-chosen correlation id, echoed back *)
+  op : op;
+  tenant : string;         (** key namespace ([Crypto.Keyring.derive]) *)
+  measure : Distance.Measure.t;
+  algo : string;           (** mine: clink, dbscan, kmedoids, outliers *)
+  k : int;                 (** mine: cluster count *)
+  eps : float;             (** mine: DBSCAN radius / outlier threshold *)
+  deadline_ms : int option;(** request budget from arrival, absolute once admitted *)
+  retries : int;           (** per-item bounded retry budget *)
+  queries : string list;   (** SQL text, one query per entry *)
+}
+
+val parse_request : string -> (request, int option * Fault.Error.t) result
+(** Parse a framed payload.  The error side carries the request [id]
+    when one could still be extracted, so even a malformed request gets
+    a correlated [Protocol] error response. *)
+
+val request_to_json : request -> Obs.Json.t
+
+val response_ok : id:int -> (string * Obs.Json.t) list -> Obs.Json.t
+val response_partial :
+  id:int -> (string * Obs.Json.t) list -> errors:Fault.Error.t list -> Obs.Json.t
+(** Graceful degradation: the surviving result plus a typed error
+    manifest for the parts that failed. *)
+
+val response_error : ?id:int -> Fault.Error.t -> Obs.Json.t
+(** Status ["overloaded"] (with [queue_depth] and [retry_after_ms]
+    fields) for {!Fault.Error.Overloaded}, ["error"] otherwise. *)
+
+val error_kind : Fault.Error.t -> string
+(** Short stable tag for clients to switch on (["overloaded"],
+    ["deadline"], ["draining"], ["protocol"], ...). *)
+
+val response_id : Obs.Json.t -> int option
+val response_status : Obs.Json.t -> string

@@ -1,0 +1,7 @@
+module Frame = Frame
+module Proto = Proto
+module Admission = Admission
+module Tenant = Tenant
+module Dispatch = Dispatch
+module Engine = Engine
+module Client = Client

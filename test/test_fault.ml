@@ -323,6 +323,95 @@ let test_dist_matrix_injection () =
   | Ok _ -> ()
   | Error _ -> Alcotest.fail "disarmed run must succeed"
 
+(* ---------------- Retry: backoff schedule and attempt accounting ---------------- *)
+
+let flaky fail_first =
+  let calls = ref 0 in
+  let f ~attempt =
+    ignore attempt;
+    incr calls;
+    if !calls <= fail_first then
+      Error (E.Io_failure { path = "flaky"; reason = "transient" })
+    else Ok !calls
+  in
+  (calls, f)
+
+let test_retry_accounting () =
+  (* succeeds on attempt 3 of 3 *)
+  let calls, f = flaky 2 in
+  (match Fault.Retry.run ~key:"t" f with
+   | Ok 3 -> ()
+   | Ok n -> Alcotest.failf "wrong success attempt %d" n
+   | Error e -> Alcotest.failf "retry gave up: %s" (E.to_string e));
+  check_int "three attempts made" 3 !calls;
+  (* exhausts 3 attempts; run_n reports the count *)
+  let calls, f = flaky 99 in
+  (match Fault.Retry.run_n ~key:"t" f with
+   | Ok _ -> Alcotest.fail "must exhaust"
+   | Error (attempts, E.Io_failure _) -> check_int "attempts reported" 3 attempts
+   | Error (_, e) -> Alcotest.failf "wrong error: %s" (E.to_string e));
+  check_int "no extra calls" 3 !calls;
+  (* attempts = 1 means no retry at all *)
+  let calls, f = flaky 99 in
+  (match Fault.Retry.run ~policy:(Fault.Retry.immediate 1) ~key:"t" f with
+   | Ok _ -> Alcotest.fail "must fail"
+   | Error _ -> ());
+  check_int "single attempt" 1 !calls
+
+let test_retry_filters () =
+  (* non-retryable errors are returned on the first failure *)
+  List.iter
+    (fun e ->
+      check_bool (E.to_string e ^ " not retryable") false (Fault.Retry.retryable e);
+      let calls = ref 0 in
+      (match Fault.Retry.run ~key:"t" (fun ~attempt ->
+           ignore attempt; incr calls; Error e) with
+       | Ok _ -> Alcotest.fail "must fail"
+       | Error _ -> ());
+      check_int "no retry" 1 !calls)
+    [ E.Deadline_exceeded { context = "c" };
+      E.Overloaded { queue_depth = 1; retry_after_ms = 5 };
+      E.Draining;
+      E.Protocol { reason = "r" };
+      E.Invariant { context = "c"; reason = "r" } ];
+  check_bool "io retryable" true
+    (Fault.Retry.retryable (E.Io_failure { path = "p"; reason = "r" }));
+  (* should_abort stops the loop between attempts (deadline wiring) *)
+  let calls, f = flaky 99 in
+  (match Fault.Retry.run ~should_abort:(fun () -> !calls >= 1) ~key:"t" f with
+   | Ok _ -> Alcotest.fail "must fail"
+   | Error _ -> ());
+  check_int "aborted after first failure" 1 !calls
+
+let test_retry_delays () =
+  let p = Fault.Retry.default in
+  (* attempt 1 is the initial try: never delayed *)
+  check_int "no delay before first try" 0 (Fault.Retry.delay_ns p ~key:"k" ~attempt:1);
+  (* deterministic in (policy, key, attempt); different keys de-sync *)
+  let d2 = Fault.Retry.delay_ns p ~key:"k" ~attempt:2 in
+  let d3 = Fault.Retry.delay_ns p ~key:"k" ~attempt:3 in
+  check_int "stable" d2 (Fault.Retry.delay_ns p ~key:"k" ~attempt:2);
+  check_bool "jitter de-syncs keys" true
+    (Fault.Retry.delay_ns p ~key:"other" ~attempt:2 <> d2);
+  (* exponential envelope: jitter removes at most [jitter] of the delay
+     and the un-jittered delay is capped *)
+  let base = p.Fault.Retry.base_delay_ns in
+  check_bool "d2 within envelope" true
+    (d2 >= int_of_float (float_of_int base *. (1. -. p.Fault.Retry.jitter))
+     && d2 <= base);
+  check_bool "d3 grows" true (d3 > d2);
+  let far = Fault.Retry.delay_ns p ~key:"k" ~attempt:30 in
+  check_bool "capped" true (far <= p.Fault.Retry.max_delay_ns);
+  (* immediate: all delays zero, sleeper never called *)
+  let sleeps = ref 0 in
+  let calls, f = flaky 2 in
+  ignore !calls;
+  (match Fault.Retry.run ~policy:(Fault.Retry.immediate 5)
+           ~sleep:(fun ns -> if ns > 0 then incr sleeps) ~key:"t" f with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "retry gave up: %s" (E.to_string e));
+  check_int "immediate never sleeps" 0 !sleeps
+
 let () =
   Alcotest.run "fault"
     [ ( "error",
@@ -352,4 +441,10 @@ let () =
             test_noise_pool_injection ] );
       ( "dist_matrix",
         [ Alcotest.test_case "eval injection" `Quick
-            test_dist_matrix_injection ] ) ]
+            test_dist_matrix_injection ] );
+      ( "retry",
+        [ Alcotest.test_case "attempt accounting" `Quick test_retry_accounting;
+          Alcotest.test_case "retryable filter + abort" `Quick
+            test_retry_filters;
+          Alcotest.test_case "deterministic backoff" `Quick
+            test_retry_delays ] ) ]

@@ -362,6 +362,76 @@ let test_encrypt_table_roundtrip () =
               (Minidb.Table.rows back = Minidb.Table.rows table))
         (Minidb.Database.tables db))
 
+(* ---- deadlines (DESIGN.md §14) ---- *)
+
+let far_future = Obs.now_ns () + 3_600_000_000_000
+
+let test_deadline_install () =
+  Alcotest.(check bool) "no ambient deadline" true
+    (Parallel.Pool.current_deadline_ns () = None);
+  Parallel.Pool.with_deadline ~deadline_ns:far_future (fun () ->
+      Alcotest.(check bool) "installed" true
+        (Parallel.Pool.current_deadline_ns () = Some far_future);
+      Alcotest.(check bool) "not expired" false
+        (Parallel.Pool.deadline_expired ());
+      (* nesting only tightens: a looser inner deadline is ignored... *)
+      Parallel.Pool.with_deadline ~deadline_ns:(far_future + 1) (fun () ->
+          Alcotest.(check bool) "no loosening" true
+            (Parallel.Pool.current_deadline_ns () = Some far_future));
+      (* ...and a tighter one wins, then restores *)
+      Parallel.Pool.with_deadline ~deadline_ns:(far_future - 1) (fun () ->
+          Alcotest.(check bool) "tightened" true
+            (Parallel.Pool.current_deadline_ns () = Some (far_future - 1)));
+      Alcotest.(check bool) "restored after nest" true
+        (Parallel.Pool.current_deadline_ns () = Some far_future));
+  Alcotest.(check bool) "uninstalled" true
+    (Parallel.Pool.current_deadline_ns () = None)
+
+let test_deadline_expiry () =
+  Alcotest.(check bool) "blind without deadline" false
+    (Parallel.Pool.deadline_expired ());
+  Parallel.Pool.check_deadline ~context:"test" ();
+  Parallel.Pool.with_deadline ~deadline_ns:1 (fun () ->
+      Alcotest.(check bool) "past deadline expired" true
+        (Parallel.Pool.deadline_expired ());
+      match Parallel.Pool.check_deadline ~context:"test" () with
+      | () -> Alcotest.fail "check_deadline did not raise"
+      | exception Fault.Error.E (Fault.Error.Deadline_exceeded { context }) ->
+        Alcotest.(check string) "context carried" "test" context)
+
+let test_deadline_r_combinators () =
+  (* an expired deadline makes the _r combinators abandon every index
+     with a typed error instead of computing *)
+  with_pool ~domains:2 (fun p ->
+      Parallel.Pool.with_deadline ~deadline_ns:1 (fun () ->
+          let ran = Atomic.make 0 in
+          (match Parallel.Pool.map_range_r p 16 (fun i -> Atomic.incr ran; i) with
+           | rs ->
+             Alcotest.(check int) "map_range_r: no task body ran" 0
+               (Atomic.get ran);
+             Array.iter
+               (fun r ->
+                 match r with
+                 | Error (Fault.Error.Deadline_exceeded _) -> ()
+                 | Error e -> Alcotest.failf "wrong error: %s" (Fault.Error.to_string e)
+                 | Ok _ -> Alcotest.fail "index computed past its deadline")
+               rs);
+          let errs = Parallel.Pool.for_range_r p 8 (fun _ -> Atomic.incr ran) in
+          Alcotest.(check int) "for_range_r abandons all" 8 (List.length errs);
+          Alcotest.(check bool) "all deadline errors" true
+            (List.for_all
+               (fun (_, e) ->
+                 match e with Fault.Error.Deadline_exceeded _ -> true | _ -> false)
+               errs)))
+
+let test_deadline_plain_blind () =
+  (* the plain combinators owe a complete result: they ignore deadlines *)
+  with_pool ~domains:2 (fun p ->
+      Parallel.Pool.with_deadline ~deadline_ns:1 (fun () ->
+          Alcotest.(check (array int)) "map_range completes"
+            (Array.init 16 (fun i -> i * 3))
+            (Parallel.Pool.map_range p 16 (fun i -> i * 3))))
+
 let () =
   Alcotest.run "parallel"
     [ ("pool",
@@ -375,6 +445,13 @@ let () =
          Alcotest.test_case "map_range_r contains" `Quick
            test_map_range_r_contains;
          Alcotest.test_case "nested use" `Quick test_nested_pool_use ]);
+      ("deadline",
+       [ Alcotest.test_case "install/nest/restore" `Quick test_deadline_install;
+         Alcotest.test_case "expiry + check raises" `Quick test_deadline_expiry;
+         Alcotest.test_case "_r combinators abandon" `Quick
+           test_deadline_r_combinators;
+         Alcotest.test_case "plain combinators blind" `Quick
+           test_deadline_plain_blind ]);
       ("dist-matrix",
        [ Alcotest.test_case "of_fun == sequential" `Quick
            test_of_fun_matches_seq;

@@ -1,0 +1,490 @@
+(* Tests for the always-on server (DESIGN.md §14): wire framing edge
+   cases, protocol parsing, the bounded admission queue, request
+   dispatch with graceful degradation, and the full engine loop —
+   every framed request answered, deadline expiry typed, drain with
+   zero dropped in-flight requests, noise-pool persistence across
+   restarts. *)
+
+module J = Obs.Json
+module Frame = Server.Frame
+module Proto = Server.Proto
+module Admission = Server.Admission
+module Engine = Server.Engine
+module Client = Server.Client
+
+(* counters are no-ops while Obs is disabled; the persistence test reads
+   one, so the whole suite runs with telemetry on (as the server does) *)
+let () = Obs.set_enabled true
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let is_protocol = function Fault.Error.Protocol _ -> true | _ -> false
+
+(* ---- framing ---- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      List.iter
+        (fun payload ->
+          (match Frame.write a payload with
+           | Ok () -> ()
+           | Error e -> Alcotest.failf "write: %s" (Fault.Error.to_string e));
+          match Frame.read b with
+          | Ok (Some got) -> check_str "roundtrip" payload got
+          | Ok None -> Alcotest.fail "unexpected EOF"
+          | Error e -> Alcotest.failf "read: %s" (Fault.Error.to_string e))
+        [ "hello"; ""; String.make 70000 'x'; "{\"op\":\"health\"}" ])
+
+let test_frame_clean_eof () =
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Frame.read b with
+      | Ok None -> ()
+      | Ok (Some _) -> Alcotest.fail "phantom frame"
+      | Error e -> Alcotest.failf "EOF not clean: %s" (Fault.Error.to_string e))
+
+let test_frame_truncated_header () =
+  with_socketpair (fun a b ->
+      (* two bytes of a four-byte header, then disconnect *)
+      ignore (Unix.write_substring a "\x00\x00" 0 2);
+      Unix.close a;
+      match Frame.read b with
+      | Error e -> check_bool "typed Protocol" true (is_protocol e)
+      | Ok _ -> Alcotest.fail "truncated header accepted")
+
+let test_frame_truncated_payload () =
+  with_socketpair (fun a b ->
+      (* header promises 100 bytes, 10 arrive, peer disconnects *)
+      let h = Bytes.create 4 in
+      Bytes.set_int32_be h 0 100l;
+      ignore (Unix.write a h 0 4);
+      ignore (Unix.write_substring a "0123456789" 0 10);
+      Unix.close a;
+      match Frame.read b with
+      | Error e -> check_bool "typed Protocol" true (is_protocol e)
+      | Ok _ -> Alcotest.fail "truncated payload accepted")
+
+let test_frame_oversized_prefix () =
+  List.iter
+    (fun len ->
+      with_socketpair (fun a b ->
+          let h = Bytes.create 4 in
+          Bytes.set_int32_be h 0 len;
+          ignore (Unix.write a h 0 4);
+          match Frame.read b with
+          | Error e -> check_bool "typed Protocol" true (is_protocol e)
+          | Ok _ -> Alcotest.fail "bad length prefix accepted"))
+    [ Int32.max_int; 0x7000_0000l; -1l; Int32.of_int (Frame.max_frame + 1) ]
+
+let test_frame_write_oversized () =
+  with_socketpair (fun a _b ->
+      match Frame.write a (String.make (Frame.max_frame + 1) 'x') with
+      | Error e -> check_bool "typed Protocol" true (is_protocol e)
+      | Ok () -> Alcotest.fail "oversized write accepted")
+
+(* ---- protocol ---- *)
+
+let test_parse_request_defaults () =
+  match Proto.parse_request {|{"id":7,"op":"mine","queries":["SELECT a FROM r"]}|} with
+  | Error (_, e) -> Alcotest.failf "parse: %s" (Fault.Error.to_string e)
+  | Ok r ->
+    check_int "id" 7 r.Proto.id;
+    check_bool "op" true (r.Proto.op = Proto.Mine);
+    check_str "tenant default" "default" r.Proto.tenant;
+    check_str "algo default" "clink" r.Proto.algo;
+    check_bool "no deadline" true (r.Proto.deadline_ms = None);
+    check_int "queries" 1 (List.length r.Proto.queries)
+
+let test_parse_request_garbage () =
+  (match Proto.parse_request "this is not json" with
+   | Error (None, e) -> check_bool "typed Protocol" true (is_protocol e)
+   | Error (Some _, _) -> Alcotest.fail "id invented for garbage"
+   | Ok _ -> Alcotest.fail "garbage parsed");
+  (* id recoverable even when the rest of the request is malformed *)
+  (match Proto.parse_request {|{"id":3,"op":"noop"}|} with
+   | Error (Some 3, e) -> check_bool "typed Protocol" true (is_protocol e)
+   | Error (_, _) -> Alcotest.fail "id lost"
+   | Ok _ -> Alcotest.fail "unknown op parsed");
+  match Proto.parse_request {|{"id":4,"op":"mine","deadline_ms":-5}|} with
+  | Error (Some 4, e) -> check_bool "typed Protocol" true (is_protocol e)
+  | Error (_, _) -> Alcotest.fail "id lost"
+  | Ok _ -> Alcotest.fail "negative deadline parsed"
+
+let test_render_parse_inverse () =
+  let req =
+    { Proto.id = 12; op = Proto.Encrypt; tenant = "t1";
+      measure = Distance.Measure.Token; algo = "dbscan"; k = 5; eps = 0.3;
+      deadline_ms = Some 250; retries = 2;
+      queries = [ "SELECT a FROM r"; "SELECT b FROM s" ] }
+  in
+  match Proto.parse_request (Proto.render (Proto.request_to_json req)) with
+  | Error (_, e) -> Alcotest.failf "re-parse: %s" (Fault.Error.to_string e)
+  | Ok r -> check_bool "request roundtrips" true (r = req)
+
+let test_response_shapes () =
+  let ok = Proto.response_ok ~id:1 [ ("x", J.Num 1.) ] in
+  check_str "ok status" "ok" (Proto.response_status ok);
+  check_bool "ok id" true (Proto.response_id ok = Some 1);
+  let shed =
+    Proto.response_error ~id:2
+      (Fault.Error.Overloaded { queue_depth = 9; retry_after_ms = 55 })
+  in
+  check_str "overloaded status" "overloaded" (Proto.response_status shed);
+  check_bool "retry hint" true
+    (Option.bind (J.member "retry_after_ms" shed) J.to_int = Some 55);
+  let partial =
+    Proto.response_partial ~id:3 [ ("y", J.Null) ]
+      ~errors:[ Fault.Error.Protocol { reason = "r" } ]
+  in
+  check_str "partial status" "partial" (Proto.response_status partial);
+  check_bool "error manifest" true (J.member "errors" partial <> None)
+
+(* ---- admission ---- *)
+
+let test_admission_sheds () =
+  let q = Admission.create ~capacity:2 in
+  check_int "capacity" 2 (Admission.capacity q);
+  check_bool "first admitted" true (Result.is_ok (Admission.submit q ~key:1 `A));
+  check_bool "second admitted" true (Result.is_ok (Admission.submit q ~key:2 `B));
+  (match Admission.submit q ~key:3 `C with
+   | Error (Fault.Error.Overloaded { queue_depth; retry_after_ms }) ->
+     check_int "depth at shed" 2 queue_depth;
+     check_int "hint deterministic" (Admission.retry_after_ms 2) retry_after_ms
+   | Error e -> Alcotest.failf "wrong error: %s" (Fault.Error.to_string e)
+   | Ok () -> Alcotest.fail "overfull queue admitted");
+  (* shedding is an answer, not a drop: the queue still serves *)
+  check_bool "take A" true (Admission.take q = Some `A);
+  check_bool "room again" true (Result.is_ok (Admission.submit q ~key:4 `D))
+
+let test_admission_drain () =
+  let q = Admission.create ~capacity:8 in
+  ignore (Admission.submit q ~key:1 `A);
+  ignore (Admission.submit q ~key:2 `B);
+  Admission.start_drain q;
+  (match Admission.submit q ~key:3 `C with
+   | Error Fault.Error.Draining -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (Fault.Error.to_string e)
+   | Ok () -> Alcotest.fail "draining queue admitted");
+  (* the backlog is finished, never discarded *)
+  check_bool "backlog A" true (Admission.take q = Some `A);
+  check_bool "backlog B" true (Admission.take q = Some `B);
+  check_bool "then None" true (Admission.take q = None);
+  check_bool "idempotent" true (Admission.take q = None)
+
+let test_admission_injected_shed () =
+  Fault.Inject.disarm_all ();
+  (match Fault.Inject.arm_spec "server.admission=always;seed=t" with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Fun.protect ~finally:Fault.Inject.disarm_all (fun () ->
+      let q = Admission.create ~capacity:8 in
+      match Admission.submit q ~key:1 `A with
+      | Error (Fault.Error.Overloaded _) ->
+        check_int "nothing queued" 0 (Admission.depth q)
+      | Error e -> Alcotest.failf "wrong error: %s" (Fault.Error.to_string e)
+      | Ok () -> Alcotest.fail "armed point did not shed")
+
+(* ---- engine: end-to-end over a real socket ---- *)
+
+let sky_queries =
+  [ "SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 100 AND 200";
+    "SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 150 AND 300";
+    "SELECT class, COUNT(*) FROM photoobj GROUP BY class";
+    "SELECT objid, magnitude FROM photoobj WHERE class = 'SKY'";
+    "SELECT objid, ra, dec FROM photoobj WHERE dec BETWEEN 1 AND 2";
+    "SELECT class, COUNT(*) FROM photoobj WHERE magnitude < 20 GROUP BY class" ]
+
+let test_config =
+  { Engine.default_config with Engine.workers = 2; queue_capacity = 16;
+    master = "test-server" }
+
+let with_engine ?(cfg = test_config) f =
+  match Engine.start cfg with
+  | Error e -> Alcotest.failf "start: %s" (Fault.Error.to_string e)
+  | Ok t ->
+    Fun.protect
+      ~finally:(fun () ->
+        Engine.request_drain t;
+        Engine.wait t)
+      (fun () -> f t)
+
+let with_client t f =
+  match Client.connect ~port:(Engine.port t) () with
+  | Error e -> Alcotest.failf "connect: %s" (Fault.Error.to_string e)
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let request ?(id = 0) ?(op = Proto.Mine) ?(tenant = "t") ?deadline_ms
+    ?(retries = 1) ?(queries = sky_queries) ?(measure = Distance.Measure.Token)
+    () =
+  Proto.request_to_json
+    { Proto.id; op; tenant; measure; algo = "clink"; k = 2; eps = 0.45;
+      deadline_ms; retries; queries }
+
+let call_ok c req =
+  match Client.call c req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "call: %s" (Fault.Error.to_string e)
+
+let test_engine_ops () =
+  with_engine (fun t ->
+      with_client t (fun c ->
+          let enc = call_ok c (request ~op:Proto.Encrypt ()) in
+          check_str "encrypt ok" "ok" (Proto.response_status enc);
+          check_bool "ciphertexts" true (J.member "ciphertexts" enc <> None);
+          let mine = call_ok c (request ~op:Proto.Mine ()) in
+          check_str "mine ok" "ok" (Proto.response_status mine);
+          (match Option.bind (J.member "labels" mine) J.to_list with
+           | Some labels ->
+             check_int "one label per query" (List.length sky_queries)
+               (List.length labels)
+           | None -> Alcotest.fail "no labels");
+          let health = call_ok c (request ~op:Proto.Health ~queries:[] ()) in
+          check_str "health ok" "ok" (Proto.response_status health);
+          let stats = call_ok c (request ~op:Proto.Stats ~queries:[] ()) in
+          check_str "stats ok" "ok" (Proto.response_status stats);
+          check_bool "snapshot" true (J.member "snapshot" stats <> None)))
+
+let test_engine_warm_cache_identical () =
+  (* same request twice on one server: the second answer comes from warm
+     OPE/DET memo caches and must be byte-identical *)
+  with_engine (fun t ->
+      with_client t (fun c ->
+          let a = call_ok c (request ~id:1 ~op:Proto.Encrypt ()) in
+          let b = call_ok c (request ~id:1 ~op:Proto.Encrypt ()) in
+          check_str "warm cache bit-identical" (Proto.render a) (Proto.render b)))
+
+let test_engine_typed_errors () =
+  with_engine (fun t ->
+      with_client t (fun c ->
+          (* unknown op: typed protocol error, session lives (the client
+             adds the id, so the error answer correlates) *)
+          let bad = call_ok c (J.Obj [ ("op", J.Str "noop") ]) in
+          check_str "garbage -> error" "error" (Proto.response_status bad);
+          check_bool "kind protocol" true
+            (Option.bind (J.member "error_kind" bad) J.to_str = Some "protocol");
+          (* unparseable SQL in an otherwise fine request *)
+          let badq =
+            call_ok c (request ~op:Proto.Mine ~queries:[ "SELECT"; "nope" ] ())
+          in
+          check_str "bad SQL -> error" "error" (Proto.response_status badq);
+          (* a single query cannot be mined *)
+          let one =
+            call_ok c (request ~op:Proto.Mine ~queries:[ List.hd sky_queries ] ())
+          in
+          check_str "1 query -> error" "error" (Proto.response_status one);
+          (* the session answered three bad requests and still works *)
+          let ok = call_ok c (request ~op:Proto.Health ~queries:[] ()) in
+          check_str "session usable" "ok" (Proto.response_status ok)))
+
+let test_engine_mid_request_disconnect () =
+  with_engine (fun t ->
+      (* a half-sent frame followed by a disconnect must not crash the
+         server or leak the session *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Engine.port t));
+      let h = Bytes.create 4 in
+      Bytes.set_int32_be h 0 4096l;
+      ignore (Unix.write fd h 0 4);
+      ignore (Unix.write_substring fd "partial" 0 7);
+      Unix.close fd;
+      (* the server keeps serving fresh connections *)
+      with_client t (fun c ->
+          let ok = call_ok c (request ~op:Proto.Health ~queries:[] ()) in
+          check_str "server alive" "ok" (Proto.response_status ok)))
+
+let test_engine_queue_deadline () =
+  (* a 1 ms deadline on a mine over hundreds of queries expires while
+     the request queues or early in its compute -> typed deadline answer,
+     and the pool lanes it held are released for the next request *)
+  let cfg = { test_config with Engine.workers = 1 } in
+  let big =
+    List.init 400 (fun i ->
+        Printf.sprintf
+          "SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN %d AND %d" i
+          (i + 50))
+  in
+  with_engine ~cfg (fun t ->
+      with_client t (fun c ->
+          let r1 = request ~id:1 ~op:Proto.Mine ~queries:big () in
+          let r2 =
+            request ~id:2 ~op:Proto.Mine ~queries:big ~deadline_ms:1 ()
+          in
+          (match (Client.call c r1, Client.call c r2) with
+           | Ok a, Ok b ->
+             check_str "busy mine ok" "ok" (Proto.response_status a);
+             check_str "deadlined request typed" "error"
+               (Proto.response_status b);
+             check_bool "kind deadline" true
+               (Option.bind (J.member "error_kind" b) J.to_str = Some "deadline")
+           | Error e, _ | _, Error e ->
+             Alcotest.failf "call: %s" (Fault.Error.to_string e));
+          (* the expired request released its lanes: a normal one succeeds *)
+          let after = call_ok c (request ~id:3 ~op:Proto.Mine ()) in
+          check_str "lanes released after expiry" "ok"
+            (Proto.response_status after)))
+
+let test_engine_degraded_mine () =
+  (* armed feature builds fail for some queries: the response is partial
+     with labels for the healthy subset and -1 for the excluded ones *)
+  Fault.Inject.disarm_all ();
+  (* triggers are keyed by query index: arming the LAST index means the
+     rebuild over the healthy prefix (keys 0..4) cannot re-fire, so the
+     degradation is a deterministic partial rather than a second failure *)
+  (match Fault.Inject.arm_spec "distance.features.build=nth:5;seed=deg" with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Fun.protect ~finally:Fault.Inject.disarm_all (fun () ->
+      with_engine (fun t ->
+          with_client t (fun c ->
+              let resp = call_ok c (request ~op:Proto.Mine ()) in
+              check_str "degraded -> partial" "partial"
+                (Proto.response_status resp);
+              (match Option.bind (J.member "labels" resp) J.to_list with
+               | Some labels ->
+                 check_int "full-length labels" (List.length sky_queries)
+                   (List.length labels);
+                 check_bool "an excluded query is -1" true
+                   (List.exists (fun l -> J.to_int l = Some (-1)) labels)
+               | None -> Alcotest.fail "no labels");
+              check_bool "error manifest present" true
+                (J.member "errors" resp <> None))))
+
+let test_engine_drain_answers_backlog () =
+  (* requests in flight when drain starts are all answered: zero dropped *)
+  let cfg = { test_config with Engine.workers = 1 } in
+  let n = 6 in
+  with_engine ~cfg (fun t ->
+      with_client t (fun c ->
+          (* fill the pipe, then immediately request drain *)
+          let ids = List.init n (fun i -> i + 1) in
+          List.iter
+            (fun id ->
+              match Client.send c (request ~id ~op:Proto.Mine ()) with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "send: %s" (Fault.Error.to_string e))
+            ids;
+          Engine.request_drain t;
+          let statuses =
+            List.map
+              (fun id ->
+                match Client.collect c id with
+                | Ok resp -> Proto.response_status resp
+                | Error e -> Alcotest.failf "collect: %s" (Fault.Error.to_string e))
+              ids
+          in
+          check_int "every in-flight request answered" n (List.length statuses);
+          List.iter
+            (fun s ->
+              check_bool "typed status" true
+                (List.mem s [ "ok"; "partial"; "error"; "overloaded" ]))
+            statuses));
+  (* after wait () the listener is gone *)
+  ()
+
+let test_engine_rejects_after_drain () =
+  with_engine (fun t ->
+      let port = Engine.port t in
+      with_client t (fun c ->
+          ignore (call_ok c (request ~op:Proto.Health ~queries:[] ())));
+      Engine.request_drain t;
+      Engine.wait t;
+      match Client.connect ~port () with
+      | Error _ -> ()
+      | Ok c ->
+        (* accepted by a lingering backlog at the OS level at worst; the
+           session must be closed without an answer *)
+        let r = Client.call c (request ~op:Proto.Health ~queries:[] ()) in
+        Client.close c;
+        check_bool "drained server serves nothing" true (Result.is_error r))
+
+(* ---- noise-pool persistence through the engine ---- *)
+
+let hom_queries =
+  [ "SELECT class, SUM(magnitude) FROM photoobj GROUP BY class";
+    "SELECT class, AVG(magnitude) FROM photoobj GROUP BY class";
+    "SELECT objid, ra FROM photoobj WHERE ra BETWEEN 100 AND 200" ]
+
+let test_noise_pool_restart_identical () =
+  let path = Filename.temp_file "kitdpe_pool" ".img" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let cfg = { test_config with Engine.noise_pool_path = Some path } in
+      let encrypt_once () =
+        let resp = ref None in
+        with_engine ~cfg (fun t ->
+            with_client t (fun c ->
+                resp :=
+                  Some
+                    (call_ok c
+                       (request ~id:1 ~op:Proto.Encrypt
+                          ~measure:Distance.Measure.Result
+                          ~queries:hom_queries ()))));
+        match !resp with
+        | Some r -> Proto.render r
+        | None -> Alcotest.fail "no response"
+      in
+      let first = encrypt_once () in
+      check_bool "pool image written at drain" true (Sys.file_exists path);
+      let reloaded = Obs.Registry.counter "kitdpe.server.noise_pool.reloaded" in
+      let before = Obs.Metric.value reloaded in
+      let second = encrypt_once () in
+      check_bool "image reloaded" true (Obs.Metric.value reloaded > before);
+      check_str "ciphertexts bit-identical from reloaded pool" first second)
+
+(* ---- registration ---- *)
+
+let () =
+  Alcotest.run "server"
+    [ ("frame",
+       [ Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+         Alcotest.test_case "clean EOF" `Quick test_frame_clean_eof;
+         Alcotest.test_case "truncated header" `Quick
+           test_frame_truncated_header;
+         Alcotest.test_case "truncated payload" `Quick
+           test_frame_truncated_payload;
+         Alcotest.test_case "oversized prefix" `Quick
+           test_frame_oversized_prefix;
+         Alcotest.test_case "oversized write" `Quick
+           test_frame_write_oversized ]);
+      ("proto",
+       [ Alcotest.test_case "defaults" `Quick test_parse_request_defaults;
+         Alcotest.test_case "garbage typed" `Quick test_parse_request_garbage;
+         Alcotest.test_case "render/parse inverse" `Quick
+           test_render_parse_inverse;
+         Alcotest.test_case "response shapes" `Quick test_response_shapes ]);
+      ("admission",
+       [ Alcotest.test_case "sheds when full" `Quick test_admission_sheds;
+         Alcotest.test_case "drain finishes backlog" `Quick
+           test_admission_drain;
+         Alcotest.test_case "injected shed" `Quick
+           test_admission_injected_shed ]);
+      ("engine",
+       [ Alcotest.test_case "ops end-to-end" `Quick test_engine_ops;
+         Alcotest.test_case "warm cache identical" `Quick
+           test_engine_warm_cache_identical;
+         Alcotest.test_case "typed errors keep session" `Quick
+           test_engine_typed_errors;
+         Alcotest.test_case "mid-request disconnect" `Quick
+           test_engine_mid_request_disconnect;
+         Alcotest.test_case "queue deadline" `Quick test_engine_queue_deadline;
+         Alcotest.test_case "degraded mine partial" `Quick
+           test_engine_degraded_mine;
+         Alcotest.test_case "drain answers backlog" `Quick
+           test_engine_drain_answers_backlog;
+         Alcotest.test_case "rejects after drain" `Quick
+           test_engine_rejects_after_drain ]);
+      ("persistence",
+       [ Alcotest.test_case "noise pool across restarts" `Slow
+           test_noise_pool_restart_identical ]) ]

@@ -5,7 +5,8 @@
    [failwith] / [invalid_arg] there re-opens the stringly side channel
    the migration closed, and — worse — crosses [Parallel.Pool] lanes as
    an anonymous [Failure] that containment can only classify as
-   [Unexpected].  Scope: lib/fault, lib/parallel, and the migrated
+   [Unexpected].  Scope: lib/fault, lib/parallel, lib/server (every
+   failure there must become a typed wire response), and the migrated
    pipeline entry modules (csvio, db_encryptor, dist_matrix, measure).
    [assert false] on genuinely unreachable branches stays allowed (and
    EXN01 still polices it inside pool tasks). *)
@@ -18,6 +19,7 @@ let severity = Rule.Error
 let in_scope src =
   Rule.under [ "lib"; "fault" ] src
   || Rule.under [ "lib"; "parallel" ] src
+  || Rule.under [ "lib"; "server" ] src
   || (Rule.under [ "lib"; "minidb" ] src
       && String.equal (Rule.basename src) "csvio.ml")
   || (Rule.under [ "lib"; "dpe" ] src
