@@ -11,7 +11,8 @@
 
 open Cmdliner
 
-let serve host port workers queue master deadline_ms noise_pool metrics_out obs =
+let serve host port workers queue master deadline_ms drain_grace_ms noise_pool
+    metrics_out obs =
   if obs then Obs.set_enabled true;
   let cfg =
     { Server.Engine.host;
@@ -20,6 +21,7 @@ let serve host port workers queue master deadline_ms noise_pool metrics_out obs 
       queue_capacity = queue;
       master;
       default_deadline_ms = (if deadline_ms > 0 then Some deadline_ms else None);
+      drain_grace_ms;
       noise_pool_path = noise_pool;
       metrics_path = metrics_out }
   in
@@ -62,6 +64,12 @@ let deadline_arg =
        & info [ "deadline-ms" ] ~docv:"MS"
            ~doc:"Default per-request deadline (0 = none).")
 
+let drain_grace_arg =
+  Arg.(value & opt int 5000
+       & info [ "drain-grace-ms" ] ~docv:"MS"
+           ~doc:"Bound on the drain's session-close phase: peers still \
+                 mid-frame or still sending past it are force-closed.")
+
 let noise_pool_arg =
   Arg.(value & opt (some string) None
        & info [ "noise-pool" ] ~docv:"FILE"
@@ -82,6 +90,7 @@ let cmd =
        ~doc:"Resilient always-on server for encrypted-log mining \
              (deadlines, backpressure, retry, graceful drain).")
     Term.(const serve $ host_arg $ port_arg $ workers_arg $ queue_arg
-          $ master_arg $ deadline_arg $ noise_pool_arg $ metrics_arg $ obs_arg)
+          $ master_arg $ deadline_arg $ drain_grace_arg $ noise_pool_arg
+          $ metrics_arg $ obs_arg)
 
 let () = exit (Cmd.eval' cmd)

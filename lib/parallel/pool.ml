@@ -13,38 +13,70 @@ type t = {
 
 (* ---- deadlines ----
 
-   An absolute [Obs.now_ns]-clock deadline travels in domain-local
-   storage ([max_int] = none), exactly like the span context: the
-   submitter sets it with [with_deadline], [run_tasks] snapshots it into
-   every queued job, and [run_job] installs it on whichever lane runs
-   the job.  The crash-contained combinators check it before each index,
-   so an expired batch drains in O(remaining indices) bookkeeping — the
-   lanes are released, not orphaned on abandoned work — and every
-   skipped index is reported as a typed [Deadline_exceeded].  The plain
+   An absolute [Obs.now_ns]-clock deadline travels with the submitting
+   request ([max_int] = none): the submitter sets it with
+   [with_deadline], [run_tasks] snapshots it into every queued job, and
+   [run_job] installs it on whichever lane runs the job.  The
+   crash-contained combinators check it before each index, so an
+   expired batch drains in O(remaining indices) bookkeeping — the lanes
+   are released, not orphaned on abandoned work — and every skipped
+   index is reported as a typed [Deadline_exceeded].  The plain
    (non-[_r]) combinators are deliberately left deadline-blind: their
    contract is bit-identical complete output, and callers that want
-   abandonment use the [_r] surfaces. *)
+   abandonment use the [_r] surfaces.
+
+   Storage is per sys-thread, not per domain.  A bare [Domain.DLS] slot
+   would be shared by every sys-thread the server runs on domain 0, and
+   two overlapping [with_deadline] calls from different threads would
+   interleave their save/restores — leaving a stale (soon-expired)
+   deadline permanently installed, after which every later request on
+   that domain is answered [Deadline_exceeded].  Each domain instead
+   holds a table keyed by [Thread.id]; pool lane domains run exactly
+   one thread, so their lookups never contend. *)
 
 let no_deadline = max_int
-let deadline_key = Domain.DLS.new_key (fun () -> no_deadline)
+
+type deadline_slots = { slock : Mutex.t; stbl : (int, int) Hashtbl.t }
+
+let deadline_key =
+  Domain.DLS.new_key (fun () ->
+      { slock = Mutex.create (); stbl = Hashtbl.create 4 })
+
+let get_deadline () =
+  let s = Domain.DLS.get deadline_key in
+  let tid = Thread.id (Thread.self ()) in
+  Mutex.lock s.slock;
+  let d =
+    match Hashtbl.find_opt s.stbl tid with Some d -> d | None -> no_deadline
+  in
+  Mutex.unlock s.slock;
+  d
+
+let set_deadline d =
+  let s = Domain.DLS.get deadline_key in
+  let tid = Thread.id (Thread.self ()) in
+  Mutex.lock s.slock;
+  if d = no_deadline then Hashtbl.remove s.stbl tid
+  else Hashtbl.replace s.stbl tid d;
+  Mutex.unlock s.slock
 
 let m_deadline_skips = Obs.Registry.counter "kitdpe.parallel.pool.deadline_skips"
 
 let current_deadline_ns () =
-  match Domain.DLS.get deadline_key with
+  match get_deadline () with
   | d when d = no_deadline -> None
   | d -> Some d
 
 let deadline_expired () =
-  let d = Domain.DLS.get deadline_key in
+  let d = get_deadline () in
   d <> no_deadline && Obs.now_ns () > d
 
 let with_deadline ~deadline_ns f =
-  let prev = Domain.DLS.get deadline_key in
+  let prev = get_deadline () in
   (* nested deadlines only tighten: an inner batch can never outlive the
      request that submitted it *)
-  Domain.DLS.set deadline_key (min prev deadline_ns);
-  Fun.protect ~finally:(fun () -> Domain.DLS.set deadline_key prev) f
+  set_deadline (min prev deadline_ns);
+  Fun.protect ~finally:(fun () -> set_deadline prev) f
 
 let check_deadline ~context () =
   if deadline_expired () then
@@ -114,16 +146,16 @@ let run_instrumented ?ctx job =
 
 (* queued jobs install the submitter's deadline on the executing lane
    (telemetry on or off — deadlines are a correctness property); direct
-   calls ([?deadline] absent) run under the lane's own DLS state, which
-   the submitter already set via [with_deadline] *)
+   calls ([?deadline] absent) run on the submitting thread, whose own
+   slot the submitter already set via [with_deadline] *)
 let run_job ?ctx ?deadline job =
   match deadline with
   | None -> run_instrumented ?ctx job
   | Some d ->
-    let prev = Domain.DLS.get deadline_key in
-    Domain.DLS.set deadline_key d;
+    let prev = get_deadline () in
+    set_deadline d;
     Fun.protect
-      ~finally:(fun () -> Domain.DLS.set deadline_key prev)
+      ~finally:(fun () -> set_deadline prev)
       (fun () -> run_instrumented ?ctx job)
 
 let default_domains () =
@@ -235,7 +267,7 @@ let run_tasks t tasks =
     let batch_ctx =
       if batch_t0 > 0 then Obs.Span.child_context submit_ctx else submit_ctx
     in
-    let submit_deadline = Domain.DLS.get deadline_key in
+    let submit_deadline = get_deadline () in
     let remaining = ref (List.length tasks) in
     let first_exn = ref None in
     let batch_done = Condition.create () in

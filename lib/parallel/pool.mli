@@ -110,12 +110,17 @@ val lane_crashes : unit -> int
 (** {2 Deadlines}
 
     A request-scoped absolute deadline (on the [Obs.now_ns] clock)
-    travels in domain-local storage exactly like the span context:
-    {!with_deadline} sets it on the submitting lane, {!run_tasks}
-    snapshots it into every queued job, and the executing lane installs
-    it for the job's duration — so deadline checks inside pool work see
-    the {e submitting request's} budget regardless of which domain runs
-    them, with telemetry on or off.
+    travels with the submitting request: {!with_deadline} sets it on
+    the submitting thread, {!run_tasks} snapshots it into every queued
+    job, and the executing lane installs it for the job's duration — so
+    deadline checks inside pool work see the {e submitting request's}
+    budget regardless of which domain runs them, with telemetry on or
+    off.
+
+    The slot is keyed per sys-thread (not per domain): concurrent
+    server threads sharing domain 0 each get an independent deadline,
+    so overlapping {!with_deadline} scopes can never corrupt one
+    another's save/restore.
 
     The crash-contained combinators ({!run_tasks_r}, {!for_range_r},
     {!map_range_r}) check the deadline before every index: once it
@@ -138,8 +143,9 @@ val current_deadline_ns : unit -> int option
 (** The calling lane's effective deadline, if any. *)
 
 val deadline_expired : unit -> bool
-(** True iff a deadline is installed and the clock has passed it.
-    Without a deadline this is one domain-local read. *)
+(** True iff a deadline is installed on the calling thread and the
+    clock has passed it.  Without a deadline this is one (uncontended
+    on pool lanes) slot read. *)
 
 val check_deadline : context:string -> unit -> unit
 (** Raise [Fault.Error.E (Deadline_exceeded {context})] if

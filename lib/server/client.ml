@@ -9,16 +9,28 @@ type t = {
   fd : Unix.file_descr;
   lock : Mutex.t;
   mutable next_id : int;
-  (* responses read while waiting for a different id (pipelining) *)
+  (* ids sent but not yet collected: the only ids a response may carry.
+     Anything else is unsolicited (buggy or hostile server) and is
+     dropped instead of parked, so the server cannot grow our memory. *)
+  mutable outstanding : int list;
+  (* responses read while waiting for a different id (pipelining);
+     bounded by [max_parked] as a backstop, and by construction only
+     ever holds responses to outstanding requests *)
   mutable parked : (int * J.t) list;
 }
+
+(* parking is bounded by the caller's own pipelining depth (only
+   outstanding ids park), so this cap is a pure backstop; past it the
+   oldest parked response is discarded *)
+let max_parked = 64
 
 let io reason = Fault.Error.Io_failure { path = "socket"; reason }
 
 let connect ?(host = "127.0.0.1") ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
-  | () -> Ok { fd; lock = Mutex.create (); next_id = 0; parked = [] }
+  | () ->
+    Ok { fd; lock = Mutex.create (); next_id = 0; outstanding = []; parked = [] }
   | exception Unix.Unix_error (e, _, _) ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Error (io (Unix.error_message e))
@@ -37,30 +49,50 @@ let fresh_id t =
 
 let send_raw t payload = Frame.write t.fd payload
 
+let settle t id = t.outstanding <- List.filter (fun i -> i <> id) t.outstanding
+
+let park t id resp =
+  let parked = t.parked @ [ (id, resp) ] in
+  t.parked <-
+    (if List.length parked > max_parked then List.tl parked else parked)
+
 let rec read_until t want =
-  match List.assoc_opt want t.parked with
-  | Some resp ->
-    t.parked <- List.remove_assoc want t.parked;
-    Ok resp
-  | None -> (
-    match Frame.read t.fd with
-    | Ok None -> Error (io "connection closed by server")
-    | Error e -> Error e
-    | Ok (Some payload) -> (
-      match J.parse payload with
-      | Error e -> Error (Fault.Error.Protocol { reason = "bad response: " ^ e })
-      | Ok resp -> (
-        match Proto.response_id resp with
-        | Some id when id = want -> Ok resp
-        | Some id ->
-          t.parked <- (id, resp) :: t.parked;
-          read_until t want
-        | None ->
-          (* an uncorrelated server-side protocol error aborts the wait:
-             the stream is about to close *)
-          Error
-            (Fault.Error.Protocol
-               { reason = "server error: " ^ Proto.response_status resp }))))
+  if not (List.mem want t.outstanding) then
+    (* waiting for an id that was never sent (or already collected)
+       would drop every other response on the floor; fail fast instead *)
+    Error
+      (Fault.Error.Protocol
+         { reason = Printf.sprintf "no outstanding request with id %d" want })
+  else
+    match List.assoc_opt want t.parked with
+    | Some resp ->
+      t.parked <- List.remove_assoc want t.parked;
+      settle t want;
+      Ok resp
+    | None -> (
+      match Frame.read t.fd with
+      | Ok None -> Error (io "connection closed by server")
+      | Error e -> Error e
+      | Ok (Some payload) -> (
+        match J.parse payload with
+        | Error e -> Error (Fault.Error.Protocol { reason = "bad response: " ^ e })
+        | Ok resp -> (
+          match Proto.response_id resp with
+          | Some id when id = want ->
+            settle t want;
+            Ok resp
+          | Some id when List.mem id t.outstanding ->
+            park t id resp;
+            read_until t want
+          | Some _ ->
+            (* unsolicited id: drop it, never park it *)
+            read_until t want
+          | None ->
+            (* an uncorrelated server-side protocol error aborts the wait:
+               the stream is about to close *)
+            Error
+              (Fault.Error.Protocol
+                 { reason = "server error: " ^ Proto.response_status resp }))))
 
 let send t request =
   let id =
@@ -76,7 +108,14 @@ let send t request =
   in
   match send_raw t (Proto.render request) with
   | Error e -> Error e
-  | Ok () -> Ok id
+  | Ok () ->
+    (* a resend under a caller-supplied fixed id (retry after a failed
+       attempt) must not correlate with a stale parked response from
+       the previous attempt *)
+    t.parked <- List.remove_assoc id t.parked;
+    if not (List.mem id t.outstanding) then
+      t.outstanding <- id :: t.outstanding;
+    Ok id
 
 let collect t id = read_until t id
 

@@ -4,6 +4,13 @@
     several requests may be pipelined and answered out of order —
     {!call} parks responses for other ids until their own call asks.
 
+    Correlation is defensive: the client tracks its outstanding ids,
+    drops (never parks) responses carrying an id it never sent — a
+    buggy or hostile server cannot grow client memory — caps the
+    parked list as a backstop, and purges any stale parked response
+    when {!send} reuses an id (a retry must not collect its previous
+    attempt's answer).
+
     Not thread-safe per connection: callers that pipeline from several
     threads should open one client each. *)
 
@@ -26,7 +33,9 @@ val send : t -> Obs.Json.t -> (int, Fault.Error.t) result
 
 val collect : t -> int -> (Obs.Json.t, Fault.Error.t) result
 (** Block for the response with the given id, parking any other
-    responses read along the way. *)
+    responses to outstanding requests read along the way.
+    [Error (Protocol _)] immediately if [id] is not outstanding (never
+    sent, or already collected). *)
 
 val call_retry :
   ?policy:Fault.Retry.policy -> t -> Obs.Json.t

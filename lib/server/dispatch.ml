@@ -7,7 +7,10 @@
    arrival; [handle] installs it with [Parallel.Pool.with_deadline], so
    the [_r] combinators underneath (feature builds, matrix rows, row
    encryption) abandon remaining work the moment it expires and the
-   pool lanes go back to serving other requests.
+   pool lanes go back to serving other requests.  Only encrypt/mine
+   install it: stats/health never consult the deadline, and keeping
+   them away from the slot means only the compute path (one request at
+   a time under the engine's compute lock) ever touches it.
 
    Graceful degradation: a mine request whose matrix has failed rows is
    re-run once on the healthy subset; the response is status "partial"
@@ -251,13 +254,18 @@ let run ctx (req : Proto.request) =
           (Fault.Error.Protocol { reason = "mine needs at least 2 queries" })
       else mine ctx req log)
 
+let consults_deadline = function
+  | Proto.Encrypt | Proto.Mine -> true
+  | Proto.Stats | Proto.Health -> false
+
 let handle ?deadline_ns ctx (req : Proto.request) =
   let t0 = Obs.time_start () in
   let resp =
     match
       match deadline_ns with
-      | Some d -> Parallel.Pool.with_deadline ~deadline_ns:d (fun () -> run ctx req)
-      | None -> run ctx req
+      | Some d when consults_deadline req.op ->
+        Parallel.Pool.with_deadline ~deadline_ns:d (fun () -> run ctx req)
+      | _ -> run ctx req
     with
     | resp -> resp
     | exception e ->

@@ -8,7 +8,9 @@
     arrival) is installed via [Parallel.Pool.with_deadline] for the
     request's duration, so the [_r] combinators underneath — feature
     builds, matrix rows, per-query encryption — abandon remaining work
-    the moment it expires and release their pool lanes.
+    the moment it expires and release their pool lanes.  Only
+    encrypt/mine install it; stats/health never consult a deadline and
+    leave the calling thread's slot untouched.
 
     Graceful degradation (DESIGN.md §14): a mine whose matrix reports
     row-scoped failures is rebuilt once on the healthy subset and

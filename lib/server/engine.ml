@@ -6,11 +6,11 @@
    queueing; the compute parallelism is the process-wide
    [Parallel.Pool] of domains.  Heavy operations (encrypt, mine) run
    under [compute_lock]: the domain pool is the unit of parallelism —
-   two concurrent batches would only oversubscribe its lanes — and
-   OCaml's domain-local storage (span context, request deadline) is
-   per-domain, so serializing compute is also what keeps one request's
-   deadline from leaking into another's pool batch.  Health and stats
-   requests bypass the lock and stay responsive under load.
+   two concurrent batches would only oversubscribe its lanes.  Request
+   deadlines are stored per sys-thread inside [Parallel.Pool], so
+   concurrent handlers sharing domain 0 cannot corrupt each other's
+   deadline; health and stats requests bypass the lock, never install
+   a deadline, and stay responsive under load.
 
    Drain (SIGTERM/SIGINT or [request_drain]): the accept loop notices
    the flag within its 100 ms select tick and runs the shutdown
@@ -18,7 +18,15 @@
    submissions answered with typed [Draining]), join workers once the
    backlog is answered (zero dropped in-flight requests), close
    connections, join readers, then flush the noise-pool image and the
-   OpenMetrics snapshot.  [wait] returns when all of that is done. *)
+   OpenMetrics snapshot.  [wait] returns when all of that is done.
+
+   The reader-join phase is bounded: sessions get [SO_RCVTIMEO] so a
+   peer stalled mid-frame cannot pin its reader in [Unix.read], and
+   once the backlog is answered each reader closes when its socket
+   goes idle, when its peer breaks framing, or — for peers that stall
+   half-open or keep sending (every post-drain frame is answered with
+   [Draining]) — at the [drain_grace_ms] deadline, after which the
+   session is force-closed. *)
 
 type config = {
   host : string;
@@ -27,6 +35,7 @@ type config = {
   queue_capacity : int;
   master : string;
   default_deadline_ms : int option;
+  drain_grace_ms : int;
   noise_pool_path : string option;
   metrics_path : string option;
 }
@@ -38,6 +47,7 @@ let default_config =
     queue_capacity = 64;
     master = "kitdpe-demo";
     default_deadline_ms = None;
+    drain_grace_ms = 5_000;
     noise_pool_path = None;
     metrics_path = None }
 
@@ -65,6 +75,10 @@ type t = {
      signal for idle readers to close their sessions.  Distinct from
      [draining] so no session closes while a response is still owed. *)
   closing : bool Atomic.t;
+  (* absolute [Obs.now_ns] time (set just before [closing]) past which
+     readers abandon even non-idle sessions — the hard bound that keeps
+     one half-open or endlessly chatty peer from stalling drain *)
+  close_by : int Atomic.t;
   inflight : int Atomic.t;
   compute_lock : Mutex.t;
   conns_lock : Mutex.t;
@@ -130,8 +144,16 @@ let close_conn t conn =
 (* ---- reader: one thread per connection ---- *)
 
 let reader t conn =
+  (* past the drain grace, abandon the session even mid-frame: every
+     owed response was written before [closing] was set, so anything
+     cut off here is a request the peer sent after being told Draining *)
+  let past_grace () =
+    Atomic.get t.closing && Obs.now_ns () > Atomic.get t.close_by
+  in
   let continue = ref true in
   while !continue do
+    if past_grace () then continue := false
+    else
     (* wait for data on a short tick so drain can end idle sessions:
        once [closing] is set every owed response has been written, and
        an idle socket means the peer has nothing more in flight *)
@@ -140,7 +162,7 @@ let reader t conn =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error (_, _, _) -> continue := false
     | _ -> (
-    match Frame.read conn.fd with
+    match Frame.read ~should_abort:past_grace conn.fd with
     | Ok None ->
       (* clean close between requests *)
       continue := false
@@ -214,14 +236,25 @@ let worker t ctx =
           end
           else Dispatch.handle ?deadline_ns ctx req
       in
-      ignore (send conn resp);
+      (* decrement before the response hits the wire: by the time the
+         peer reads the answer and sends its next request, this one no
+         longer counts — so a sequential client always observes a
+         deterministic inflight in health responses (the chaos stage
+         asserts faults-off streams are bit-identical) *)
       Atomic.decr t.inflight;
-      Obs.Metric.set_gauge m_inflight (Atomic.get t.inflight)
+      Obs.Metric.set_gauge m_inflight (Atomic.get t.inflight);
+      ignore (send conn resp)
   done
 
 (* ---- accept loop and drain sequence ---- *)
 
 let spawn_session t fd =
+  (* a receive timeout turns a blocking mid-frame read into a 50 ms
+     tick (EAGAIN), which [Frame.read] uses to re-poll the drain-grace
+     abort — without it a peer stalling inside a frame would pin its
+     reader in [Unix.read] forever and defeat graceful shutdown *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.05
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
   Mutex.lock t.conns_lock;
   t.next_cid <- t.next_cid + 1;
   let conn = { fd; cid = t.next_cid; wlock = Mutex.create (); alive = true } in
@@ -280,7 +313,11 @@ let drain_sequence t =
      close their sessions as soon as the socket goes idle (any frame
      still arriving is answered with Draining first) — never with an
      unread byte in the receive buffer, so the close is a clean FIN and
-     the peer keeps every buffered response *)
+     the peer keeps every buffered response.  The grace deadline bounds
+     the whole phase: a peer that stalls mid-frame or keeps sending is
+     force-closed once it passes, so one hostile client cannot stall
+     the joins below *)
+  Atomic.set t.close_by (Obs.now_ns () + (max 0 t.cfg.drain_grace_ms * 1_000_000));
   Atomic.set t.closing true;
   Mutex.lock t.conns_lock;
   let readers = t.readers in
@@ -341,6 +378,7 @@ let start cfg =
         queue = Admission.create ~capacity:cfg.queue_capacity;
         draining = Atomic.make false;
         closing = Atomic.make false;
+        close_by = Atomic.make max_int;
         inflight = Atomic.make 0;
         compute_lock = Mutex.create ();
         conns_lock = Mutex.create ();

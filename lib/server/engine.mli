@@ -5,9 +5,12 @@
     while compute parallelism comes from the process-wide
     [Parallel.Pool] of domains.  Encrypt/mine requests run one at a
     time under a compute lock: the domain pool is the unit of
-    parallelism, and domain-local state (span context, request
-    deadline) must not interleave between requests sharing domain 0.
-    Health and stats bypass the lock and stay responsive under load.
+    parallelism, and two concurrent batches would only oversubscribe
+    its lanes.  Request deadlines live in [Parallel.Pool]'s
+    per-sys-thread slots, so concurrent handlers sharing domain 0
+    cannot corrupt each other's deadline.  Health and stats bypass the
+    lock (and never install a deadline) and stay responsive under
+    load.
 
     Robustness contract:
     - every successfully framed request gets exactly one response —
@@ -19,7 +22,11 @@
     - drain (SIGTERM/SIGINT/{!request_drain}) closes the listener,
       answers the whole backlog (zero dropped in-flight requests),
       rejects new work with [Draining], then flushes the noise-pool
-      image and OpenMetrics snapshot.
+      image and OpenMetrics snapshot;
+    - drain is bounded: sessions carry [SO_RCVTIMEO], so a peer
+      stalled mid-frame (or one that keeps sending after the backlog
+      is answered) is force-closed once [drain_grace_ms] elapses —
+      one half-open client can never stall shutdown.
 
     Metrics: [kitdpe.server.inflight], [kitdpe.server.connections]
     (gauges); [kitdpe.server.requests], [kitdpe.server.responses]
@@ -34,13 +41,14 @@ type config = {
   queue_capacity : int;            (** admission bound before shedding *)
   master : string;                 (** keyring passphrase *)
   default_deadline_ms : int option;(** applied when a request names none *)
+  drain_grace_ms : int;            (** bound on the drain's session-close phase *)
   noise_pool_path : string option; (** Paillier pool image: loaded at start, saved at drain *)
   metrics_path : string option;    (** OpenMetrics snapshot written at drain *)
 }
 
 val default_config : config
-(** Loopback, ephemeral port, 4 workers, capacity 64, no deadline, no
-    persistence paths. *)
+(** Loopback, ephemeral port, 4 workers, capacity 64, no deadline, 5 s
+    drain grace, no persistence paths. *)
 
 type t
 

@@ -29,20 +29,34 @@ let write fd payload =
   end
 
 (* [`Eof] only when not a single byte of the frame was consumed — EOF at
-   a frame boundary is a clean close, EOF inside a frame is truncation *)
-let rec read_exact fd b off len ~any =
+   a frame boundary is a clean close, EOF inside a frame is truncation.
+
+   [abort] is polled before every read and after every [SO_RCVTIMEO]
+   tick (EAGAIN/EWOULDBLOCK on a socket with a receive timeout), so a
+   peer that stalls mid-frame — or dribbles bytes forever — cannot pin
+   the calling thread past the moment the caller wants out. *)
+let rec read_exact ~abort fd b off len ~any =
   if len = 0 then `Done
+  else if abort () then `Abort
   else
     match Unix.read fd b off len with
     | 0 -> if any then `Truncated else `Eof
-    | n -> read_exact fd b (off + n) (len - n) ~any:true
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd b off len ~any
+    | n -> read_exact ~abort fd b (off + n) (len - n) ~any:true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      read_exact ~abort fd b off len ~any
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* receive-timeout tick with no data: loop back through the abort
+         check and keep waiting *)
+      read_exact ~abort fd b off len ~any
     | exception Unix.Unix_error (e, _, _) -> `Err (Unix.error_message e)
 
-let read fd =
+let never_abort () = false
+
+let read ?(should_abort = never_abort) fd =
   let hdr = Bytes.create 4 in
-  match read_exact fd hdr 0 4 ~any:false with
+  match read_exact ~abort:should_abort fd hdr 0 4 ~any:false with
   | `Eof -> Ok None
+  | `Abort -> Error (io "read aborted")
   | `Truncated -> Error (proto "truncated frame header")
   | `Err reason -> Error (io reason)
   | `Done ->
@@ -51,8 +65,9 @@ let read fd =
       Error (proto (Printf.sprintf "oversized length prefix (%d)" len))
     else begin
       let payload = Bytes.create len in
-      match read_exact fd payload 0 len ~any:true with
+      match read_exact ~abort:should_abort fd payload 0 len ~any:true with
       | `Done -> Ok (Some (Bytes.unsafe_to_string payload))
+      | `Abort -> Error (io "read aborted")
       | `Eof | `Truncated -> Error (proto "truncated frame payload")
       | `Err reason -> Error (io reason)
     end

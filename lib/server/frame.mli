@@ -16,11 +16,21 @@ val max_frame : int
     rejected before any allocation — a hostile 2 GiB prefix costs
     nothing. *)
 
-val read : Unix.file_descr -> (string option, Fault.Error.t) result
+val read :
+  ?should_abort:(unit -> bool) -> Unix.file_descr
+  -> (string option, Fault.Error.t) result
 (** Read one frame.  [Ok None] on a clean EOF at a frame boundary (peer
     closed between requests); [Error (Protocol _)] on truncation or a
     bad length prefix; [Error (Io_failure _)] on transport errors.
-    Retries [EINTR] internally. *)
+    Retries [EINTR] internally.
+
+    [?should_abort] (default: never) is polled before every byte chunk
+    and after every receive-timeout tick on sockets with [SO_RCVTIMEO]
+    set ([EAGAIN]/[EWOULDBLOCK] is treated as "no data yet", not an
+    error).  When it returns true the read stops with
+    [Error (Io_failure _)] even mid-frame — this is how the server
+    bounds its drain against half-open peers that stall inside a
+    frame. *)
 
 val write : Unix.file_descr -> string -> (unit, Fault.Error.t) result
 (** Write one frame, handling short writes and [EINTR].  [Error

@@ -424,6 +424,43 @@ let test_deadline_r_combinators () =
                  match e with Fault.Error.Deadline_exceeded _ -> true | _ -> false)
                errs)))
 
+let test_deadline_thread_isolation () =
+  (* regression: deadline slots are per sys-thread.  A single shared
+     domain-local slot let two threads interleave their save/restores,
+     permanently installing a stale expired deadline — here a churn
+     thread installs and drops 1 ns deadlines while the main thread
+     holds a far-future one; neither may observe the other's *)
+  let stop = Atomic.make false in
+  let churn_ok = Atomic.make true in
+  let churn =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          Parallel.Pool.with_deadline ~deadline_ns:1 (fun () ->
+              if not (Parallel.Pool.deadline_expired ()) then
+                Atomic.set churn_ok false;
+              Thread.yield ())
+        done)
+      ()
+  in
+  let leaked = ref false in
+  Parallel.Pool.with_deadline ~deadline_ns:far_future (fun () ->
+      for _ = 1 to 2000 do
+        if
+          Parallel.Pool.deadline_expired ()
+          || Parallel.Pool.current_deadline_ns () <> Some far_future
+        then leaked := true;
+        Thread.yield ()
+      done);
+  Atomic.set stop true;
+  Thread.join churn;
+  Alcotest.(check bool) "churn thread saw its own deadline" true
+    (Atomic.get churn_ok);
+  Alcotest.(check bool) "no cross-thread deadline leak" false !leaked;
+  Alcotest.(check bool) "slot clean after both scopes" true
+    (Parallel.Pool.current_deadline_ns () = None
+    && not (Parallel.Pool.deadline_expired ()))
+
 let test_deadline_plain_blind () =
   (* the plain combinators owe a complete result: they ignore deadlines *)
   with_pool ~domains:2 (fun p ->
@@ -450,6 +487,8 @@ let () =
          Alcotest.test_case "expiry + check raises" `Quick test_deadline_expiry;
          Alcotest.test_case "_r combinators abandon" `Quick
            test_deadline_r_combinators;
+         Alcotest.test_case "per-thread isolation" `Quick
+           test_deadline_thread_isolation;
          Alcotest.test_case "plain combinators blind" `Quick
            test_deadline_plain_blind ]);
       ("dist-matrix",

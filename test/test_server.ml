@@ -16,6 +16,11 @@ module Client = Server.Client
    one, so the whole suite runs with telemetry on (as the server does) *)
 let () = Obs.set_enabled true
 
+(* the drain tests write into sockets the server may close first *)
+let () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_str = Alcotest.(check string)
@@ -407,6 +412,165 @@ let test_engine_rejects_after_drain () =
         Client.close c;
         check_bool "drained server serves nothing" true (Result.is_error r))
 
+let connect_raw t =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Engine.port t));
+  fd
+
+let test_engine_drain_half_open_client () =
+  (* regression: a client that sends one header byte and then stalls
+     used to pin its reader in a blocking [Unix.read], so the drain's
+     reader join never returned; the grace deadline now bounds it *)
+  let cfg = { test_config with Engine.drain_grace_ms = 200 } in
+  with_engine ~cfg (fun t ->
+      let fd = connect_raw t in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          ignore (Unix.write_substring fd "\x00" 0 1);
+          (* the socket stays half-open while the server drains *)
+          let t0 = Unix.gettimeofday () in
+          Engine.request_drain t;
+          Engine.wait t;
+          check_bool "drain bounded despite half-open client" true
+            (Unix.gettimeofday () -. t0 < 5.)))
+
+let test_engine_drain_chatty_client () =
+  (* a peer that keeps sending well-formed frames (each answered with
+     Draining) must not extend the drain past the grace either *)
+  let cfg = { test_config with Engine.drain_grace_ms = 200 } in
+  with_engine ~cfg (fun t ->
+      let fd = connect_raw t in
+      let stop = Atomic.make false in
+      let payload = Proto.render (request ~op:Proto.Health ~queries:[] ()) in
+      let pump =
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop) do
+              (match Frame.write fd payload with
+               | Ok () -> Thread.yield ()
+               | Error _ -> Atomic.set stop true)
+            done)
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          Thread.join pump;
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          Engine.request_drain t;
+          Engine.wait t;
+          check_bool "drain bounded under chatty client" true
+            (Unix.gettimeofday () -. t0 < 5.)))
+
+(* ---- client correlation hardening ---- *)
+
+(* a scripted peer standing in for the server: accepts one connection
+   and runs [serve] against it *)
+let with_fake_server serve f =
+  let lst = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lst Unix.SO_REUSEADDR true;
+  Unix.bind lst (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lst 1;
+  let port =
+    match Unix.getsockname lst with Unix.ADDR_INET (_, p) -> p | _ -> 0
+  in
+  let srv =
+    Thread.create
+      (fun () ->
+        match Unix.accept lst with
+        | fd, _ ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> serve fd)
+        | exception Unix.Unix_error _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join srv;
+      try Unix.close lst with Unix.Unix_error _ -> ())
+    (fun () -> f port)
+
+let with_fake_client serve f =
+  with_fake_server serve (fun port ->
+      match Client.connect ~port () with
+      | Error e -> Alcotest.failf "connect: %s" (Fault.Error.to_string e)
+      | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c))
+
+let simple_req id = J.Obj [ ("id", J.Num (float_of_int id)); ("op", J.Str "health") ]
+
+let tagged id tag =
+  Proto.render (Proto.response_ok ~id [ ("tag", J.Str tag) ])
+
+let test_client_drops_unsolicited () =
+  (* a server emitting responses for ids that were never requested must
+     not grow the parked list — they are dropped, and the real answer
+     still correlates *)
+  with_fake_client
+    (fun fd ->
+      match Frame.read fd with
+      | Ok (Some _) ->
+        for i = 1000 to 1200 do
+          ignore (Frame.write fd (tagged i "unsolicited"))
+        done;
+        ignore (Frame.write fd (tagged 1 "real"))
+      | _ -> ())
+    (fun c ->
+      match Client.call c (simple_req 1) with
+      | Ok r ->
+        check_bool "real answer correlates" true (Proto.response_id r = Some 1);
+        check_bool "unsolicited tag not taken" true
+          (Option.bind (J.member "tag" r) J.to_str = Some "real")
+      | Error e -> Alcotest.failf "call: %s" (Fault.Error.to_string e))
+
+let test_client_collect_unknown_id () =
+  (* collecting an id that was never sent (or already collected) fails
+     fast instead of eating the stream forever *)
+  with_fake_client
+    (fun fd -> ignore (Frame.read fd))
+    (fun c ->
+      (match Client.collect c 42 with
+       | Error (Fault.Error.Protocol _) -> ()
+       | Error e -> Alcotest.failf "wrong error: %s" (Fault.Error.to_string e)
+       | Ok _ -> Alcotest.fail "phantom response for unsent id");
+      (* unblock the fake server's read *)
+      ignore (Client.send c (simple_req 9)))
+
+let test_client_resend_purges_stale () =
+  (* a retry that reuses its caller-supplied id must not collect the
+     parked response from its previous attempt *)
+  with_fake_client
+    (fun fd ->
+      let r1 = Frame.read fd in
+      let r2 = Frame.read fd in
+      match (r1, r2) with
+      | Ok (Some _), Ok (Some _) ->
+        ignore (Frame.write fd (tagged 7 "stale"));
+        ignore (Frame.write fd (tagged 8 "other"));
+        (match Frame.read fd with
+         | Ok (Some _) -> ignore (Frame.write fd (tagged 7 "fresh"))
+         | _ -> ())
+      | _ -> ())
+    (fun c ->
+      (match Client.send c (simple_req 7) with
+       | Ok id -> check_int "caller id kept" 7 id
+       | Error e -> Alcotest.failf "send: %s" (Fault.Error.to_string e));
+      ignore (Client.send c (simple_req 8));
+      (* collecting 8 first parks the stale answer to 7 *)
+      (match Client.collect c 8 with
+       | Ok r -> check_bool "8 answered" true (Proto.response_id r = Some 8)
+       | Error e -> Alcotest.failf "collect 8: %s" (Fault.Error.to_string e));
+      (* the retry: resending id 7 purges the stale parked response *)
+      ignore (Client.send c (simple_req 7));
+      match Client.collect c 7 with
+      | Ok r ->
+        check_str "retry gets the fresh attempt's answer" "fresh"
+          (Option.value ~default:"?" (Option.bind (J.member "tag" r) J.to_str))
+      | Error e -> Alcotest.failf "collect 7: %s" (Fault.Error.to_string e))
+
 (* ---- noise-pool persistence through the engine ---- *)
 
 let hom_queries =
@@ -484,7 +648,18 @@ let () =
          Alcotest.test_case "drain answers backlog" `Quick
            test_engine_drain_answers_backlog;
          Alcotest.test_case "rejects after drain" `Quick
-           test_engine_rejects_after_drain ]);
+           test_engine_rejects_after_drain;
+         Alcotest.test_case "drain bounded: half-open client" `Quick
+           test_engine_drain_half_open_client;
+         Alcotest.test_case "drain bounded: chatty client" `Quick
+           test_engine_drain_chatty_client ]);
+      ("client",
+       [ Alcotest.test_case "drops unsolicited ids" `Quick
+           test_client_drops_unsolicited;
+         Alcotest.test_case "collect unknown id fails fast" `Quick
+           test_client_collect_unknown_id;
+         Alcotest.test_case "resend purges stale parked" `Quick
+           test_client_resend_purges_stale ]);
       ("persistence",
        [ Alcotest.test_case "noise pool across restarts" `Slow
            test_noise_pool_restart_identical ]) ]
