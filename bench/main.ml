@@ -1013,10 +1013,250 @@ let perf_parallel () =
     entries;
   entries
 
+(* P3: metric indexes.  Each range row compares the brute-force neighbor
+   scan (n-1 exact predicate probes per query) against the VP/BK tree on
+   a sampled query set, with [identical] asserting equal neighbor sets.
+   Probe counts ride along as their own rows (op suffix "/probes"): the
+   two ns fields carry {e probe counts per query}, baseline = n-1 and
+   optimized = the tree's mean, so sub-linearity is visible in the same
+   trajectory table as the timings.  Templates scale with n (constant
+   cluster size) and eps stays at near-duplicate radius — the regime the
+   indexes are built for. *)
+let perf_index () =
+  section "P3: sub-quadratic neighbor search (metric indexes)";
+  let domains = Parallel.Pool.default_domains () in
+  let pool = Parallel.Pool.global () in
+  let entries = ref [] in
+  let push e = entries := e :: !entries in
+  let eps = 0.1 in
+  let n_sample = 64 in
+  let space_of kind m n =
+    let log =
+      Workload.Gen_query.skyserver_log
+        { Workload.Gen_query.n; templates = max 4 (n / 50); seed = "p3-index";
+          caps = Workload.Gen_query.caps_for_measure m }
+    in
+    Index.Space.of_kind kind (Distance.Features.build ~pool (Array.of_list log))
+  in
+  let brute sp q =
+    let acc = ref [] in
+    for j = Index.Space.size sp - 1 downto 0 do
+      if j <> q && Index.Space.within sp ~eps q j then acc := j :: !acc
+    done;
+    !acc
+  in
+  let sampled n = Array.init n_sample (fun i -> i * n / n_sample) in
+
+  (* 1. VP-tree eps-range vs brute force *)
+  List.iter
+    (fun (kind, mname, n) ->
+      let m =
+        match kind with
+        | Index.Space.Edit -> M.Edit
+        | Index.Space.Token -> M.Token
+        | Index.Space.Structure -> M.Structure
+        | Index.Space.Clause -> M.Clause
+      in
+      let sp = space_of kind m n in
+      let tree = Index.Vp_tree.build ~pool ~seed:"p3" sp in
+      let queries = sampled n in
+      let brute_sets = Array.map (brute sp) queries in
+      let vp_sets = Array.map (Index.Vp_tree.range tree ~eps) queries in
+      let identical = brute_sets = vp_sets in
+      let t_brute =
+        time_best ~reps:2 (fun () -> Array.map (brute sp) queries)
+      in
+      let t_vp =
+        time_best ~reps:2 (fun () ->
+            Array.map (Index.Vp_tree.range tree ~eps) queries)
+      in
+      let per_q t = t *. 1e9 /. float_of_int n_sample in
+      push
+        { op = "index/vp_range/" ^ mname;
+          pe_n = n; pe_domains = domains;
+          baseline_ns = per_q t_brute; optimized_ns = per_q t_vp; identical };
+      let probes =
+        Array.fold_left
+          (fun acc q ->
+            let _, st = Index.Vp_tree.range_stats tree ~eps q in
+            acc + st.Index.Vp_tree.probes)
+          0 queries
+      in
+      push
+        { op = "index/vp_probes/" ^ mname;
+          pe_n = n; pe_domains = domains;
+          baseline_ns = float_of_int (n - 1);
+          optimized_ns = float_of_int probes /. float_of_int n_sample;
+          identical })
+    [ (Index.Space.Edit, "edit", 1000);
+      (Index.Space.Edit, "edit", 10000);
+      (Index.Space.Token, "token", 1000) ];
+
+  (* 2. BK-tree on the integer edit metric *)
+  let sp = space_of Index.Space.Edit M.Edit 1000 in
+  let bk = Index.Bk_tree.build ~pool ~seed:"p3" sp in
+  let queries = sampled 1000 in
+  let bk_identical =
+    Array.map (brute sp) queries = Array.map (Index.Bk_tree.range bk ~eps) queries
+  in
+  let t_brute = time_best ~reps:2 (fun () -> Array.map (brute sp) queries) in
+  let t_bk =
+    time_best ~reps:2 (fun () -> Array.map (Index.Bk_tree.range bk ~eps) queries)
+  in
+  push
+    { op = "index/bk_range/edit";
+      pe_n = 1000; pe_domains = domains;
+      baseline_ns = t_brute *. 1e9 /. float_of_int n_sample;
+      optimized_ns = t_bk *. 1e9 /. float_of_int n_sample;
+      identical = bk_identical };
+
+  (* 3. DBSCAN end-to-end: oracle scans vs the index engine, identical
+     labels (the oracle is itself label-identical to the matrix path —
+     property-tested).  Token space: cheap tree probes, so the probe
+     reduction shows up in wall time (on edit the oracle's banded
+     early-abandon predicate is cheaper per probe than a full tree
+     distance, and the win needs larger n — the vp_range rows above
+     carry that story). *)
+  let n_db = 1000 in
+  let sp_db = space_of Index.Space.Token M.Token n_db in
+  let vp = Index.Vp_tree.build ~pool ~seed:"p3" sp_db in
+  let oracle =
+    { Mining.Dbscan.o_n = n_db;
+      within = (fun i j -> Index.Space.within sp_db ~eps i j) }
+  in
+  let ri =
+    { Mining.Dbscan.ri_n = n_db;
+      range = (fun i -> Index.Vp_tree.range vp ~eps i) }
+  in
+  let l_oracle = Mining.Dbscan.run_oracle ~min_pts:3 oracle in
+  let l_index = Mining.Dbscan.run_index ~min_pts:3 ri in
+  let t_oracle =
+    time_best ~reps:2 (fun () -> Mining.Dbscan.run_oracle ~min_pts:3 oracle)
+  in
+  let t_index =
+    time_best ~reps:2 (fun () -> Mining.Dbscan.run_index ~min_pts:3 ri)
+  in
+  push
+    { op = "mining/dbscan_index";
+      pe_n = n_db; pe_domains = domains;
+      baseline_ns = t_oracle *. 1e9; optimized_ns = t_index *. 1e9;
+      identical = l_oracle = l_index };
+
+  (* 4. k-medoids at scale: full PAM over the dense matrix vs CLARANS
+     over the feature-table distance function.  [identical] asserts the
+     bounded-error contract: CLARANS cost within 10% of PAM's. *)
+  let n_km = 400 in
+  let k = 4 in
+  let log_km =
+    Workload.Gen_query.skyserver_log
+      { Workload.Gen_query.n = n_km; templates = 8; seed = "p3-km";
+        caps = Workload.Gen_query.caps_for_measure M.Token }
+  in
+  let feats_km = Distance.Features.build ~pool (Array.of_list log_km) in
+  let d_km = Distance.Features.token feats_km in
+  let dm_km = M.matrix ~pool M.default_ctx M.Token log_km in
+  let pam_params = { Mining.Kmedoids.k; max_iter = 50 } in
+  let pam_labels = Mining.Kmedoids.run_pam pam_params dm_km in
+  let partition_cost labels =
+    let total = ref 0.0 in
+    for c = 0 to k - 1 do
+      let members =
+        List.filter (fun i -> labels.(i) = c) (List.init n_km (fun i -> i))
+      in
+      match members with
+      | [] -> ()
+      | _ ->
+        let best = ref infinity in
+        List.iter
+          (fun cand ->
+            let s =
+              List.fold_left (fun acc i -> acc +. d_km cand i) 0.0 members
+            in
+            if s < !best then best := s)
+          members;
+        total := !total +. !best
+    done;
+    !total
+  in
+  let pam_cost = partition_cost pam_labels in
+  let clarans_params =
+    { Mining.Kmedoids.c_k = k; num_local = 2;
+      max_neighbor = max 250 (k * (n_km - k) / 80) }
+  in
+  let run_clarans () =
+    let rng = Crypto.Drbg.create ~seed:"p3-clarans" in
+    Mining.Kmedoids.run_clarans_full
+      ~rand:(fun b -> Crypto.Drbg.uniform_int rng b)
+      clarans_params ~n:n_km ~d:d_km
+  in
+  let _, _, clarans_cost = run_clarans () in
+  let t_pam =
+    time_best ~reps:2 (fun () -> Mining.Kmedoids.run_pam pam_params dm_km)
+  in
+  let t_clarans = time_best ~reps:2 run_clarans in
+  push
+    { op = "mining/kmedoids_clarans";
+      pe_n = n_km; pe_domains = domains;
+      baseline_ns = t_pam *. 1e9; optimized_ns = t_clarans *. 1e9;
+      identical = clarans_cost <= (1.10 *. pam_cost) +. 1e-9 };
+
+  (* 5. tiled matrix storage: dense pooled build vs tiled pooled fill,
+     bit-identical cells *)
+  let n_tm = 400 in
+  let log_tm =
+    Workload.Gen_query.skyserver_log
+      { Workload.Gen_query.n = n_tm; templates = 8; seed = "p3-tm";
+        caps = Workload.Gen_query.caps_for_measure M.Edit }
+  in
+  let feats_tm = Distance.Features.build ~pool (Array.of_list log_tm) in
+  let d_tm = Distance.Features.edit feats_tm in
+  let dense = Mining.Dist_matrix.of_fun ~pool n_tm d_tm in
+  let tiled () =
+    let tm = Mining.Tile_matrix.create ~tile:128 n_tm d_tm in
+    Mining.Tile_matrix.fill ~pool tm;
+    tm
+  in
+  let tm = tiled () in
+  let t_dense =
+    time_best ~reps:2 (fun () -> Mining.Dist_matrix.of_fun ~pool n_tm d_tm)
+  in
+  let t_tiled = time_best ~reps:2 tiled in
+  push
+    { op = "dist_matrix/tiled/edit";
+      pe_n = n_tm; pe_domains = domains;
+      baseline_ns = t_dense *. 1e9; optimized_ns = t_tiled *. 1e9;
+      identical =
+        Mining.Dist_matrix.max_abs_diff dense (Mining.Tile_matrix.to_dense tm)
+        = 0.0 };
+
+  let entries = List.rev !entries in
+  Format.printf "%-28s %-7s %-8s %-14s %-14s %-9s %s@." "op" "n" "domains"
+    "baseline" "optimized" "speedup" "identical";
+  hr ();
+  let pretty ns =
+    if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun e ->
+      let is_probes =
+        List.exists
+          (fun s -> s = "probes" || s = "vp_probes" || s = "bk_probes")
+          (String.split_on_char '/' e.op)
+      in
+      let show v = if is_probes then Printf.sprintf "%.0f probes" v else pretty v in
+      Format.printf "%-28s %-7d %-8d %-14s %-14s %-9.2f %b@." e.op e.pe_n
+        e.pe_domains (show e.baseline_ns) (show e.optimized_ns)
+        (pe_speedup e) e.identical)
+    entries;
+  entries
+
 let emit_perf_json ~metrics path entries =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"pr\": 7,\n";
+  Printf.fprintf oc "  \"pr\": 10,\n";
   Printf.fprintf oc "  \"bench\": \"perf --json\",\n";
   (* host metadata, so a snapshot from a single-CPU runner is
      self-describing next to one from a many-core box *)
@@ -1403,7 +1643,7 @@ let kmedoids_ablation () =
    earlier snapshot and makes the process exit 3 if any op that both
    snapshots measured with [identical = true] got > 20% slower. *)
 let json_path = ref None
-let json_default = "BENCH_PR7.json"
+let json_default = "BENCH_PR10.json"
 let compare_path = ref None
 let compare_regressed = ref false
 
@@ -1470,7 +1710,7 @@ let metered_metrics_snapshot () =
 
 let perf_and_trajectory () =
   perf ();
-  let entries = perf_parallel () in
+  let entries = perf_parallel () @ perf_index () in
   (match !json_path with
    | Some path -> emit_perf_json ~metrics:(metered_metrics_snapshot ()) path entries
    | None -> ());

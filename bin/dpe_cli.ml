@@ -200,27 +200,108 @@ let write_trace = function
     Obs.Trace.write_file file;
     Printf.eprintf "wrote trace %s\n%!" file
 
-let mine m algo k eps seed rows trace path =
+(* the point count above which skipping the O(n²) matrix starts paying
+   for the index build on the measures that support one *)
+let auto_index_threshold = 512
+
+(* Neighbor-engine mining: identical labels to the matrix path, without
+   the matrix.  dbscan runs over the VP-tree (or the exact predicate
+   oracle); kmedoids at index scale runs CLARANS over the feature-table
+   distance function with a seed-derived DRBG.  Returns [None] when the
+   requested engine does not cover (algo, measure) — the caller falls
+   back to the matrix path and says so. *)
+let mine_neighbors m algo k eps seed log ~engine =
+  if not (Index.Space.supported m) then None
+  else
+    match (algo, engine) with
+    | "dbscan", "oracle" ->
+      let feats = Distance.Features.build (Array.of_list log) in
+      let sp = Index.Space.of_kind (Option.get (Index.Space.kind_of_measure m)) feats in
+      Some
+        (Mining.Dbscan.run_oracle ~min_pts:3
+           { Mining.Dbscan.o_n = List.length log;
+             within = (fun i j -> Index.Space.within sp ~eps i j) })
+    | "dbscan", "index" ->
+      let feats = Distance.Features.build (Array.of_list log) in
+      let sp = Index.Space.of_kind (Option.get (Index.Space.kind_of_measure m)) feats in
+      let tree = Index.Vp_tree.build ~seed sp in
+      Some
+        (Mining.Dbscan.run_index ~min_pts:3
+           { Mining.Dbscan.ri_n = List.length log;
+             range = (fun i -> Index.Vp_tree.range tree ~eps i) })
+    | "kmedoids", "index" ->
+      let feats = Distance.Features.build (Array.of_list log) in
+      let n = List.length log in
+      let d =
+        match m with
+        | M.Token -> Distance.Features.token feats
+        | M.Structure -> Distance.Features.structure feats
+        | M.Edit -> Distance.Features.edit feats
+        | M.Clause -> Distance.Features.clause feats
+        | M.Access | M.Result -> assert false (* unsupported above *)
+      in
+      let rng = Crypto.Drbg.create ~seed:(seed ^ "/clarans") in
+      let rand b = Crypto.Drbg.uniform_int rng b in
+      Some
+        (Mining.Kmedoids.run_clarans ~rand
+           { Mining.Kmedoids.c_k = k;
+             num_local = 2;
+             max_neighbor = max 250 (k * (n - k) / 80) }
+           ~n ~d)
+    | _ -> None
+
+let mine m algo k eps seed rows trace engine path =
   if trace <> None then Obs.set_enabled true;
   let log = read_log path in
+  let engine =
+    match engine with
+    | "auto" ->
+      if
+        (algo = "dbscan" || algo = "kmedoids")
+        && Index.Space.supported m
+        && List.length log >= auto_index_threshold
+      then "index"
+      else "matrix"
+    | ("matrix" | "oracle" | "index") as e -> e
+    | e ->
+      Printf.eprintf "unknown engine %S (auto, matrix, oracle or index)\n%!" e;
+      exit 2
+  in
   (* one root span per request: pool tasks submitted below inherit its
      trace id, so the --trace output draws flow arrows from this slice
      to the lane-side pool.task slices *)
   let labels =
     Obs.Span.with_span ~cat:"cli" "cli.mine" (fun () ->
-        let ctx =
-          if m = M.Result then M.ctx_with_db (db_for_log ~seed ~rows log)
-          else M.default_ctx
+        let indexed =
+          if engine = "matrix" then None
+          else begin
+            match mine_neighbors m algo k eps seed log ~engine with
+            | Some labels ->
+              Printf.eprintf "engine: %s\n%!" engine;
+              Some labels
+            | None ->
+              Printf.eprintf
+                "engine %s does not cover --algo %s -m %s; using matrix\n%!"
+                engine algo (M.to_string m);
+              None
+          end
         in
-        let dm = Dpe.Verdict.distance_matrix ctx m log in
-        match algo with
-        | "dbscan" -> Mining.Dbscan.run { Mining.Dbscan.eps; min_pts = 3 } dm
-        | "kmedoids" ->
-          Mining.Kmedoids.run { Mining.Kmedoids.k; max_iter = 50 } dm
-        | "outliers" ->
-          Mining.Outlier.run { Mining.Outlier.p = 0.95; d = eps } dm
-          |> Array.map (fun b -> if b then 1 else 0)
-        | _ -> Mining.Hier.cut_k k dm)
+        match indexed with
+        | Some labels -> labels
+        | None ->
+          let ctx =
+            if m = M.Result then M.ctx_with_db (db_for_log ~seed ~rows log)
+            else M.default_ctx
+          in
+          let dm = Dpe.Verdict.distance_matrix ctx m log in
+          (match algo with
+           | "dbscan" -> Mining.Dbscan.run { Mining.Dbscan.eps; min_pts = 3 } dm
+           | "kmedoids" ->
+             Mining.Kmedoids.run { Mining.Kmedoids.k; max_iter = 50 } dm
+           | "outliers" ->
+             Mining.Outlier.run { Mining.Outlier.p = 0.95; d = eps } dm
+             |> Array.map (fun b -> if b then 1 else 0)
+           | _ -> Mining.Hier.cut_k k dm))
   in
   Array.iteri
     (fun i l ->
@@ -239,11 +320,20 @@ let mine_cmd =
     Arg.(value & opt float 0.45
          & info [ "eps" ] ~doc:"DBSCAN radius / outlier distance threshold.")
   in
+  let engine =
+    Arg.(value & opt string "auto"
+         & info [ "engine" ]
+             ~doc:"Neighbor engine: matrix (dense distance matrix), oracle \
+                   (predicate scans, no matrix), index (VP-tree / CLARANS, \
+                   sub-quadratic) or auto (index for large indexable logs, \
+                   matrix otherwise).  All engines produce identical labels \
+                   where they overlap.")
+  in
   Cmd.v
     (Cmd.info "mine"
        ~doc:"Run distance-based mining over a (plain or encrypted) log.")
     Term.(const mine $ measure_arg $ algo $ k $ eps $ seed_arg $ rows_arg
-          $ trace_arg $ log_arg)
+          $ trace_arg $ engine $ log_arg)
 
 let read_whole_file path =
   let ic = open_in_bin path in
@@ -645,7 +735,7 @@ let table1_cmd =
 
 (* ---- client: drive a running dpe_serve over the wire protocol ---- *)
 
-let client host port op_s tenant m algo k eps deadline_ms retries attempts path =
+let client host port op_s tenant m algo k eps deadline_ms retries attempts engine path =
   let op =
     match Server.Proto.op_of_string op_s with
     | Some op -> op
@@ -672,7 +762,8 @@ let client host port op_s tenant m algo k eps deadline_ms retries attempts path 
       { Server.Proto.id = Server.Client.fresh_id c; op; tenant; measure = m;
         algo; k; eps;
         deadline_ms = (if deadline_ms > 0 then Some deadline_ms else None);
-        retries; queries }
+        retries; engine = (if engine = "" then None else Some engine);
+        queries }
     in
     let policy = { Fault.Retry.default with Fault.Retry.attempts } in
     let r =
@@ -727,6 +818,12 @@ let client_cmd =
              ~doc:"Client attempts when shed with Overloaded (backoff \
                    honors the server's retry_after_ms hint).")
   in
+  let engine =
+    Arg.(value & opt string ""
+         & info [ "engine" ]
+             ~doc:"mine: neighbor engine (matrix, oracle or index; empty = \
+                   server default).")
+  in
   let log =
     Arg.(value & pos 0 (some string) None
          & info [] ~docv:"LOG" ~doc:"Query log (encrypt/mine only).")
@@ -736,7 +833,7 @@ let client_cmd =
        ~doc:"Send one request to a running dpe_serve and print the \
              JSON response (exit 1 on error/overloaded).")
     Term.(const client $ host $ port $ op $ tenant $ measure_arg $ algo $ k
-          $ eps $ deadline $ retries $ attempts $ log)
+          $ eps $ deadline $ retries $ attempts $ engine $ log)
 
 (* ---- chaos: a seeded fault-injection run with an invariant report ----
 
@@ -906,6 +1003,51 @@ let chaos seed rows domains report_path =
     (report_of ft_a = report_of ft_b) "reports differ";
   check "features: clean once disarmed" (feat_run () = []) "errors remain";
 
+  (* 5c. metric index: per-point build failures surface with a partial
+     tree over the healthy subset; disarmed builds are bit-identical for
+     every pool size and answer exactly *)
+  let feats_ix = Distance.Features.build qs in
+  let sp_ix = Index.Space.of_kind Index.Space.Token feats_ix in
+  let ix_run () = Index.Vp_tree.build_r ~seed:"chaos" sp_ix in
+  let ix_t, ix_a = staged "index.build=every:4" ix_run in
+  let _, ix_b = staged "index.build=every:4" ix_run in
+  keep ix_a;
+  check "index: injected builds surface as index.build"
+    (List.exists
+       (function
+         | Fault.Error.Task_failed { label = "index.build"; _ } -> true
+         | _ -> false)
+       ix_a)
+    "no index.build error";
+  check "index: healthy subset indexed, nothing silently missing"
+    (Array.length (Index.Vp_tree.indexed ix_t) + List.length ix_a
+     = Array.length qs)
+    (Printf.sprintf "%d indexed + %d errors vs %d points"
+       (Array.length (Index.Vp_tree.indexed ix_t))
+       (List.length ix_a) (Array.length qs));
+  check "index: identical report on rerun"
+    (report_of ix_a = report_of ix_b) "reports differ";
+  let ix_clean, ix_errs0 = ix_run () in
+  check "index: clean once disarmed" (ix_errs0 = []) "errors remain";
+  let ix_wide =
+    with_pool domains (fun p -> Index.Vp_tree.build ~pool:p ~seed:"chaos" sp_ix)
+  in
+  check "index: tree bit-identical across pool sizes"
+    (Index.Vp_tree.fingerprint ix_clean = Index.Vp_tree.fingerprint ix_wide)
+    "fingerprints differ";
+  let ix_brute q =
+    let acc = ref [] in
+    for j = Array.length qs - 1 downto 0 do
+      if j <> q && Index.Space.within sp_ix ~eps:0.4 q j then acc := j :: !acc
+    done;
+    !acc
+  in
+  check "index: range equals brute force"
+    (List.for_all
+       (fun q -> Index.Vp_tree.range ix_clean ~eps:0.4 q = ix_brute q)
+       (List.init (Array.length qs) (fun i -> i)))
+    "neighbor sets differ";
+
   (* 6. pool: the armed task crashes, the batch still completes *)
   let pool_run () =
     with_pool domains (fun p ->
@@ -948,7 +1090,8 @@ let chaos seed rows domains report_path =
       check (Printf.sprintf "coverage: %s surfaced" p)
         (List.mem p surfaced) "never seen in an error report")
     [ "minidb.csvio.row"; "dpe.db_encryptor.row"; "mining.dist_matrix.eval";
-      "distance.features.build"; "parallel.pool.task"; "crypto.ope.encrypt" ];
+      "distance.features.build"; "index.build"; "parallel.pool.task";
+      "crypto.ope.encrypt" ];
 
   (* 8. disarming restores the baseline bit-for-bit *)
   check "disarmed: registry empty" (not (Fault.enabled ())) "still armed";
@@ -982,7 +1125,8 @@ let chaos seed rows domains report_path =
   let mk ~id ~op ?deadline_ms queries =
     Server.Proto.request_to_json
       { Server.Proto.id; op; tenant = "chaos"; measure = M.Token;
-        algo = "clink"; k = 3; eps = 0.45; deadline_ms; retries = 1; queries }
+        algo = "clink"; k = 3; eps = 0.45; deadline_ms; retries = 1;
+        engine = None; queries }
   in
   let call_all t reqs =
     match Server.Client.connect ~port:(Server.Engine.port t) () with

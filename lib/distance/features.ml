@@ -219,6 +219,11 @@ let edit t i j =
   if n = 0 then 0.0
   else float_of_int (edit_distance_int t i j) /. float_of_int n
 
+let edit_len t i = Array.length t.records.(i).edit_tokens
+
+let max_edit_len t =
+  Array.fold_left (fun acc r -> max acc (Array.length r.edit_tokens)) 0 t.records
+
 let edit_within t ~eps i j =
   Obs.Metric.add m_reuse 2;
   let a = t.records.(i) and b = t.records.(j) in

@@ -99,6 +99,16 @@ val edit : t -> int -> int -> float
 val edit_distance_int : t -> int -> int -> int
 (** The raw (unnormalized) token-level Levenshtein distance. *)
 
+val edit_len : t -> int -> int
+(** Length of query [i]'s fused token sequence — the normalizer of
+    {!edit} is [max (edit_len i) (edit_len j)].  The metric indexes
+    ([Index]) use it to convert a normalized radius into a sound
+    integer Levenshtein bound per subtree. *)
+
+val max_edit_len : t -> int
+(** [Array.fold_left max 0] over all {!edit_len} — an upper bound on
+    any pair's normalizer. *)
+
 val edit_within : t -> eps:float -> int -> int -> bool
 (** [edit_within t ~eps i j = (edit t i j <= eps)], decided by the
     banded early-abandoning kernel ({!D_edit.distance_at_most}) without

@@ -1,0 +1,41 @@
+(** Burkhard–Keller tree: exact eps-range queries over the {e integer}
+    edit metric ({!Space.is_int_metric} spaces only).
+
+    Children are bucketed by exact pivot distance; a query at integer
+    distance [d] from a pivot descends only into edges [w] with
+    [|d - w| <= radius] (triangle inequality on the raw Levenshtein
+    metric).  Membership is confirmed with the exact normalized
+    predicate, so results equal the brute-force neighbor set.
+
+    Determinism, fault behavior and accounting mirror {!Vp_tree}:
+    path-keyed DRBG pivots, bit-identical structure across pool sizes,
+    ["index.build"] gate with a {!build_r} partial surface, and
+    [kitdpe.index.*] probe/prune counters. *)
+
+type t
+
+val build : ?pool:Parallel.Pool.t -> seed:string -> Space.t -> t
+(** Index every point of the space.
+    @raise Invalid_argument unless [Space.is_int_metric space]. *)
+
+val build_r :
+  ?pool:Parallel.Pool.t -> seed:string -> Space.t -> t * Fault.Error.t list
+(** Crash-contained {!build}: failing points are excluded and reported
+    as [Task_failed {label = "index.build"; index; _}]; the tree indexes
+    the healthy subset. *)
+
+val indexed : t -> int array
+val size : t -> int
+val space : t -> Space.t
+
+val range : t -> eps:float -> int -> int list
+(** Exact eps-neighborhood of point [q] (ascending, [q] excluded) —
+    identical to the brute-force scan over {!Space.within}. *)
+
+type stats = { probes : int; prunes : int }
+
+val range_stats : t -> eps:float -> int -> int list * stats
+
+val fingerprint : t -> string
+(** Deterministic structural rendering; equal fingerprints mean
+    bit-identical trees. *)

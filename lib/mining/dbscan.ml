@@ -5,9 +5,19 @@ type oracle = {
   within : int -> int -> bool;
 }
 
+type range_index = {
+  ri_n : int;
+  range : int -> int list;
+}
+
 let m_runs = Obs.Registry.counter "kitdpe.mining.dbscan.runs"
 let m_scans = Obs.Registry.counter "kitdpe.mining.dbscan.neighbor_scans"
 let m_clusters = Obs.Registry.counter "kitdpe.mining.dbscan.clusters_found"
+
+(* pairwise predicate evaluations spent inside oracle neighbor scans —
+   the brute-force cost an index engine is bought to avoid, exposed so
+   the two are comparable on one dashboard *)
+let m_oracle_probes = Obs.Registry.counter "kitdpe.mining.dbscan.oracle_probes"
 
 let neighbors m eps i =
   Obs.Metric.incr m_scans;
@@ -22,6 +32,7 @@ let neighbors m eps i =
    labels whenever [within i j = (get m i j <= eps)] *)
 let neighbors_oracle o i =
   Obs.Metric.incr m_scans;
+  Obs.Metric.add m_oracle_probes (o.o_n - 1);
   let acc = ref [] in
   for j = o.o_n - 1 downto 0 do
     if j <> i && o.within i j then acc := j :: !acc
@@ -79,4 +90,19 @@ let run_oracle ~min_pts o =
   let t0 = Obs.time_start () in
   let labels = expand ~n:o.o_n ~min_pts ~neighbors:(neighbors_oracle o) in
   record_run ~n:o.o_n labels t0;
+  labels
+
+(* index engine: neighborhoods answered by a pre-built metric index.
+   [range] already returns ascending neighbor lists — the same order
+   [neighbors]/[neighbors_oracle] produce by their downto-prepend scan —
+   so [expand] consumes identical neighbor sequences and assigns
+   identical labels. *)
+let neighbors_index ri i =
+  Obs.Metric.incr m_scans;
+  ri.range i
+
+let run_index ~min_pts ri =
+  let t0 = Obs.time_start () in
+  let labels = expand ~n:ri.ri_n ~min_pts ~neighbors:(neighbors_index ri) in
+  record_run ~n:ri.ri_n labels t0;
   labels

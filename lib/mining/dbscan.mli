@@ -22,4 +22,21 @@ val run_oracle : min_pts:int -> oracle -> int array
 (** As {!run}, with neighborhoods answered by the oracle.  The scan
     order is identical, so when
     [within i j = (Dist_matrix.get m i j <= eps)] the label array equals
-    [run { eps; min_pts } m] exactly. *)
+    [run { eps; min_pts } m] exactly.  Each neighbor scan probes all
+    [o_n - 1] other points, counted in
+    [kitdpe.mining.dbscan.oracle_probes] — the brute-force cost the
+    index engine is measured against. *)
+
+type range_index = {
+  ri_n : int;  (** number of points *)
+  range : int -> int list;
+      (** [range i] = the exact eps-neighborhood of [i], ascending, [i]
+          excluded (e.g. [Index.Vp_tree.range]) *)
+}
+(** Neighborhoods answered wholesale by a pre-built metric index. *)
+
+val run_index : min_pts:int -> range_index -> int array
+(** As {!run_oracle} with sub-linear neighbor scans.  Ascending neighbor
+    lists are exactly the order the brute-force scans produce, so when
+    [range i] equals the brute-force eps-neighborhood the labels are
+    bit-identical to {!run} and {!run_oracle}. *)

@@ -1,0 +1,281 @@
+(* Tiled / blocked distance-matrix storage.
+
+   [Dist_matrix.t] materializes n rows of n floats each; at n = 10^6
+   that is 8 TB — far past what a mining run can hold.  A tile matrix
+   stores the same values in fixed-size square tiles over the upper
+   triangle (ti <= tj), filled lazily from the pure distance function on
+   first touch, with an optional spill tier that marshals cold tiles to
+   disk once a resident budget is exceeded.
+
+   Because [d] is pure, every cell holds exactly the value the dense
+   build computes — [d gi gj] for [gi < gj], mirrored, zero diagonal —
+   regardless of fill order, eviction policy, or pool size; [to_dense]
+   and the equivalence property test pin this down. *)
+
+type slot = {
+  mutable arr : float array option;  (* resident tile data *)
+  mutable file : string option;      (* spill file holding the same data *)
+}
+
+type spill = {
+  dir : string;
+  resident_cap : int;  (* max resident tiles before eviction *)
+}
+
+type t = {
+  n : int;
+  tile : int;            (* tile edge length *)
+  nt : int;              (* tiles per side *)
+  slots : slot array;    (* upper-triangle tiles, row-major *)
+  d : int -> int -> float;
+  spill : spill option;
+  lock : Mutex.t;
+  mutable resident : int;
+}
+
+let m_fills = Obs.Registry.counter "kitdpe.mining.tile_matrix.tile_fills"
+let m_spills = Obs.Registry.counter "kitdpe.mining.tile_matrix.tile_spills"
+let m_loads = Obs.Registry.counter "kitdpe.mining.tile_matrix.tile_loads"
+
+let default_tile = 256
+
+(* upper-triangle tile index for ti <= tj *)
+let slot_index t ti tj = (ti * t.nt) - (ti * (ti - 1) / 2) + (tj - ti)
+
+let create ?(tile = default_tile) ?spill_dir ?(resident_cap = 64) n d =
+  if n < 0 then invalid_arg "Tile_matrix.create: negative size";
+  if tile <= 0 then invalid_arg "Tile_matrix.create: tile must be positive";
+  let nt = if n = 0 then 0 else ((n - 1) / tile) + 1 in
+  let n_slots = nt * (nt + 1) / 2 in
+  let spill =
+    match spill_dir with
+    | None -> None
+    | Some dir ->
+      if resident_cap <= 0 then
+        invalid_arg "Tile_matrix.create: resident_cap must be positive";
+      Some { dir; resident_cap }
+  in
+  {
+    n;
+    tile;
+    nt;
+    slots = Array.init n_slots (fun _ -> { arr = None; file = None });
+    d;
+    spill;
+    lock = Mutex.create ();
+    resident = 0;
+  }
+
+let size t = t.n
+let tile_size t = t.tile
+
+(* compute one tile's cells from scratch.  Off-diagonal tiles (ti < tj)
+   have gi < gj for every cell; diagonal tiles compute the local upper
+   triangle and mirror it, with a zero diagonal — exactly the dense
+   build's evaluation pattern. *)
+let compute_tile t ti tj =
+  let e = t.tile in
+  let a = Array.make (e * e) 0.0 in
+  let i0 = ti * e and j0 = tj * e in
+  if ti < tj then
+    for r = 0 to e - 1 do
+      let gi = i0 + r in
+      if gi < t.n then
+        for c = 0 to e - 1 do
+          let gj = j0 + c in
+          if gj < t.n then a.((r * e) + c) <- t.d gi gj
+        done
+    done
+  else
+    for r = 0 to e - 1 do
+      let gi = i0 + r in
+      if gi < t.n then
+        for c = r + 1 to e - 1 do
+          let gj = j0 + c in
+          if gj < t.n then begin
+            let v = t.d gi gj in
+            a.((r * e) + c) <- v;
+            a.((c * e) + r) <- v
+          end
+        done
+    done;
+  a
+
+(* explicit on-disk codec (UNSAFE01: no Marshal): a length header then
+   each cell as its IEEE-754 bits, little-endian — the bits round-trip
+   exactly, so reloaded tiles are bit-identical to the computed ones *)
+let encode_tile arr =
+  let len = Array.length arr in
+  let b = Bytes.create (8 * (len + 1)) in
+  Bytes.set_int64_le b 0 (Int64.of_int len);
+  for i = 0 to len - 1 do
+    Bytes.set_int64_le b (8 * (i + 1)) (Int64.bits_of_float arr.(i))
+  done;
+  b
+
+let decode_tile b =
+  if Bytes.length b < 8 then invalid_arg "Tile_matrix: truncated tile file";
+  let len = Int64.to_int (Bytes.get_int64_le b 0) in
+  if len < 0 || Bytes.length b <> 8 * (len + 1) then
+    invalid_arg "Tile_matrix: corrupt tile file";
+  Array.init len (fun i ->
+      Int64.float_of_bits (Bytes.get_int64_le b (8 * (i + 1))))
+
+let spill_tile t slot arr =
+  match t.spill with
+  | None -> ()
+  | Some { dir; _ } ->
+    (match slot.file with
+    | Some _ -> ()  (* already on disk with identical content: d is pure *)
+    | None ->
+      let file = Filename.temp_file ~temp_dir:dir "kitdpe_tile_" ".bin" in
+      let oc = open_out_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          let b = encode_tile arr in
+          output_bytes oc b);
+      slot.file <- Some file);
+    slot.arr <- None;
+    t.resident <- t.resident - 1;
+    Obs.Metric.incr m_spills
+
+let load_tile slot file =
+  let ic = open_in_bin file in
+  let arr =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let b = Bytes.create len in
+        really_input ic b 0 len;
+        decode_tile b)
+  in
+  slot.arr <- Some arr;
+  Obs.Metric.incr m_loads;
+  arr
+
+(* evict resident tiles (lowest slot index first — any policy is
+   value-correct, this one is deterministic) until the cap holds,
+   keeping [keep] resident *)
+let enforce_cap t ~keep =
+  match t.spill with
+  | None -> ()
+  | Some { resident_cap; _ } ->
+    let si = ref 0 in
+    while t.resident > resident_cap && !si < Array.length t.slots do
+      let slot = t.slots.(!si) in
+      (match slot.arr with
+      | Some arr when slot != keep -> spill_tile t slot arr
+      | _ -> ());
+      incr si
+    done
+
+(* the resident array for tile (ti, tj), filling or reloading under the
+   matrix lock *)
+let tile_arr t ti tj =
+  let slot = t.slots.(slot_index t ti tj) in
+  match slot.arr with
+  | Some arr -> arr
+  | None ->
+    let arr =
+      match slot.file with
+      | Some file -> load_tile slot file
+      | None ->
+        let arr = compute_tile t ti tj in
+        slot.arr <- Some arr;
+        Obs.Metric.incr m_fills;
+        arr
+    in
+    t.resident <- t.resident + 1;
+    enforce_cap t ~keep:slot;
+    arr
+
+let get t i j =
+  if i < 0 || j < 0 || i >= t.n || j >= t.n then
+    invalid_arg "Tile_matrix.get: index out of bounds";
+  let i, j = if i <= j then (i, j) else (j, i) in
+  let ti = i / t.tile and tj = j / t.tile in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let arr = tile_arr t ti tj in
+      arr.(((i mod t.tile) * t.tile) + (j mod t.tile)))
+
+let fill ?pool t =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.global () in
+  let t0 = Obs.time_start () in
+  let n_slots = Array.length t.slots in
+  (* tile coordinates for each slot index *)
+  let coords = Array.make n_slots (0, 0) in
+  let w = ref 0 in
+  for ti = 0 to t.nt - 1 do
+    for tj = ti to t.nt - 1 do
+      coords.(!w) <- (ti, tj);
+      incr w
+    done
+  done;
+  (* compute in parallel outside the lock ([d] is pure), install
+     serially under it *)
+  let arrays =
+    Parallel.Pool.map_range pool n_slots (fun si ->
+        let ti, tj = coords.(si) in
+        match t.slots.(si).arr with
+        | Some _ -> None
+        | None ->
+          (match t.slots.(si).file with
+          | Some _ -> None
+          | None -> Some (compute_tile t ti tj)))
+  in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      Array.iteri
+        (fun si arr ->
+          match arr with
+          | None -> ()
+          | Some arr ->
+            let slot = t.slots.(si) in
+            if slot.arr = None && slot.file = None then begin
+              slot.arr <- Some arr;
+              t.resident <- t.resident + 1;
+              Obs.Metric.incr m_fills;
+              enforce_cap t ~keep:slot
+            end)
+        arrays);
+  if t0 > 0 then
+    Obs.Span.record ~cat:"mining"
+      ~name:(Printf.sprintf "tile_matrix.fill(n=%d,tile=%d)" t.n t.tile)
+      ~ts_ns:t0 ~dur_ns:(Obs.now_ns () - t0) ()
+
+type stats = { tiles : int; resident : int; spilled : int }
+
+let stats t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let spilled = ref 0 in
+      Array.iter
+        (fun s -> if s.file <> None && s.arr = None then incr spilled)
+        t.slots;
+      { tiles = Array.length t.slots; resident = t.resident; spilled = !spilled })
+
+let to_dense t : Dist_matrix.t =
+  Array.init t.n (fun i -> Array.init t.n (fun j -> get t i j))
+
+let dispose t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      Array.iter
+        (fun s ->
+          match s.file with
+          | None -> ()
+          | Some f ->
+            (try Sys.remove f with Sys_error _ -> ());
+            s.file <- None)
+        t.slots)

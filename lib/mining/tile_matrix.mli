@@ -1,0 +1,54 @@
+(** Tiled / blocked distance-matrix storage for logs too large to hold
+    the dense n×n float matrix.
+
+    Values are stored in fixed-size square tiles over the upper triangle,
+    computed lazily from the (pure) distance function on first touch.
+    With a spill directory configured, cold tiles are marshalled to disk
+    once the resident budget is exceeded and reloaded on demand.
+
+    {b Equivalence.}  Every cell holds exactly what the dense build
+    computes — [d i j] for [i < j], mirrored, zero diagonal — regardless
+    of fill order, eviction, or pool size (property-tested against
+    {!Dist_matrix.of_fun}). *)
+
+type t
+
+val create :
+  ?tile:int ->
+  ?spill_dir:string ->
+  ?resident_cap:int ->
+  int ->
+  (int -> int -> float) ->
+  t
+(** [create n d] with tile edge [tile] (default 256).  [d] must be pure
+    and symmetric in the {!Dist_matrix.of_fun} sense; it is only ever
+    evaluated as [d i j] with [i < j].  When [spill_dir] is given, at
+    most [resident_cap] tiles (default 64) stay in memory; colder tiles
+    live in temp files under the directory.  Without [spill_dir] every
+    filled tile stays resident.
+    @raise Invalid_argument on non-positive [tile]/[resident_cap]. *)
+
+val size : t -> int
+val tile_size : t -> int
+
+val get : t -> int -> int -> float
+(** [get t i j] — same contract as {!Dist_matrix.get}, any (i, j) order.
+    Fills (or reloads) the covering tile on demand; thread-safe.
+    @raise Invalid_argument out of bounds. *)
+
+val fill : ?pool:Parallel.Pool.t -> t -> unit
+(** Eagerly compute every not-yet-filled tile across the pool (one task
+    per tile), then install them; tiles beyond the resident budget spill
+    immediately.  Values are identical to lazy fills. *)
+
+type stats = { tiles : int; resident : int; spilled : int }
+
+val stats : t -> stats
+
+val to_dense : t -> Dist_matrix.t
+(** Materialize the full dense matrix (test/verification helper — defeats
+    the purpose at scale). *)
+
+val dispose : t -> unit
+(** Delete any spill files.  The matrix remains usable; dropped tiles
+    recompute from [d] on next touch. *)

@@ -75,6 +75,14 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 val mapi_array : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** [mapi_array p f a] is [Array.mapi f a] evaluated across the pool. *)
 
+val both : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** [both p f g] runs the two thunks (possibly on different lanes) and
+    returns both results — the fork/join shape of recursive divide-and-
+    conquer builds (e.g. the metric-tree constructors in [Index]).
+    Sequential on a 1-lane pool.  If either thunk raises, the batch
+    still completes and the first exception observed is re-raised, same
+    as {!run_tasks}. *)
+
 val shutdown : t -> unit
 (** Terminate and join the worker domains.  Call only when no bulk
     operation is in flight; further use of the pool falls back to

@@ -153,8 +153,47 @@ let failed_indices errors =
 
 let labels_body labels = [ ("labels", J.Arr (Array.to_list (Array.map (fun l -> J.Num (float_of_int l)) labels))) ]
 
+(* Neighbor-engine path: DBSCAN answered by the exact predicate oracle
+   or a VP-tree over the feature table, skipping the O(n²) matrix.  Both
+   make bit-identical label decisions to the matrix path (same scan
+   order, exact neighbor sets), so falling back costs correctness
+   nothing — [None] hands the request to the matrix path, which owns
+   degradation (partial responses, deadline conversion).  The tree seed
+   is fixed so seeded chaos runs stay bit-reproducible. *)
+let mine_neighbors (req : Proto.request) log ~engine =
+  match Distance.Features.build_r (Array.of_list log) with
+  | Error _ -> None
+  | Ok feats -> (
+    match Index.Space.of_measure req.measure feats with
+    | None -> None
+    | Some sp -> (
+      let n = List.length log in
+      match
+        if engine = "oracle" then
+          Mining.Dbscan.run_oracle ~min_pts:3
+            { Mining.Dbscan.o_n = n;
+              within = (fun i j -> Index.Space.within sp ~eps:req.eps i j) }
+        else
+          let tree = Index.Vp_tree.build ~seed:"serve" sp in
+          Mining.Dbscan.run_index ~min_pts:3
+            { Mining.Dbscan.ri_n = n;
+              range = (fun i -> Index.Vp_tree.range tree ~eps:req.eps i) }
+      with
+      | labels -> Some (Proto.response_ok ~id:req.id (labels_body labels))
+      | exception _ -> None))
+
 let mine ctx (req : Proto.request) log =
   ignore ctx;
+  let via_neighbors =
+    match req.engine with
+    | Some (("oracle" | "index") as engine)
+      when req.algo = "dbscan" && Index.Space.supported req.measure ->
+      mine_neighbors req log ~engine
+    | _ -> None
+  in
+  match via_neighbors with
+  | Some resp -> resp
+  | None ->
   let mctx =
     if req.measure = M.Result then M.ctx_with_db (db_for_log log)
     else M.default_ctx

@@ -89,8 +89,11 @@ type request = {
   eps : float;
   deadline_ms : int option;
   retries : int;
+  engine : string option;
   queries : string list;
 }
+
+let engines = [ "matrix"; "oracle"; "index" ]
 
 let proto reason = Fault.Error.Protocol { reason }
 
@@ -140,6 +143,15 @@ let parse_request s =
                | Some ms when ms > 0 -> Ok (Some ms)
                | _ -> Error (id, proto "field deadline_ms: expected positive integer"))
            in
+           let* engine =
+             match J.member "engine" j with
+             | None | Some J.Null -> Ok None
+             | Some v -> (
+               match J.to_str v with
+               | Some e when List.mem e engines -> Ok (Some e)
+               | Some e -> Error (id, proto (Printf.sprintf "unknown engine %S" e))
+               | None -> Error (id, proto "field engine: expected string"))
+           in
            let* eps =
              match J.member "eps" j with
              | None -> Ok 0.45
@@ -167,7 +179,7 @@ let parse_request s =
            in
            Ok
              { id = id_v; op; tenant; measure; algo; k; eps; deadline_ms;
-               retries; queries })))
+               retries; engine; queries })))
 
 let request_to_json r =
   let base =
@@ -185,12 +197,15 @@ let request_to_json r =
     | None -> []
     | Some ms -> [ ("deadline_ms", J.Num (float_of_int ms)) ]
   in
+  let eng =
+    match r.engine with None -> [] | Some e -> [ ("engine", J.Str e) ]
+  in
   let qs =
     match r.queries with
     | [] -> []
     | qs -> [ ("queries", J.Arr (List.map (fun q -> J.Str q) qs)) ]
   in
-  J.Obj (base @ dl @ qs)
+  J.Obj (base @ dl @ eng @ qs)
 
 (* ---- responses ---- *)
 

@@ -28,6 +28,10 @@ type request = {
   eps : float;             (** mine: DBSCAN radius / outlier threshold *)
   deadline_ms : int option;(** request budget from arrival, absolute once admitted *)
   retries : int;           (** per-item bounded retry budget *)
+  engine : string option;
+      (** mine: neighbor engine — ["matrix"], ["oracle"] or ["index"];
+          absent means the server's default (matrix) path, so existing
+          clients are unaffected *)
   queries : string list;   (** SQL text, one query per entry *)
 }
 

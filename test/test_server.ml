@@ -129,7 +129,7 @@ let test_render_parse_inverse () =
   let req =
     { Proto.id = 12; op = Proto.Encrypt; tenant = "t1";
       measure = Distance.Measure.Token; algo = "dbscan"; k = 5; eps = 0.3;
-      deadline_ms = Some 250; retries = 2;
+      deadline_ms = Some 250; retries = 2; engine = Some "index";
       queries = [ "SELECT a FROM r"; "SELECT b FROM s" ] }
   in
   match Proto.parse_request (Proto.render (Proto.request_to_json req)) with
@@ -233,7 +233,7 @@ let request ?(id = 0) ?(op = Proto.Mine) ?(tenant = "t") ?deadline_ms
     () =
   Proto.request_to_json
     { Proto.id; op; tenant; measure; algo = "clink"; k = 2; eps = 0.45;
-      deadline_ms; retries; queries }
+      deadline_ms; retries; engine = None; queries }
 
 let call_ok c req =
   match Client.call c req with

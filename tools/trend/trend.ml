@@ -112,6 +112,14 @@ let pretty ns =
   else if ns >= 1e3 then Printf.sprintf "%.1fus" (ns /. 1e3)
   else Printf.sprintf "%.0fns" ns
 
+(* [index/*_probes/*] rows carry per-query probe counts in the ns
+   fields (the suite's cost-model series, not wall time) — render them
+   as bare counts rather than durations *)
+let is_probe_op op =
+  List.exists
+    (fun seg -> seg = "probes" || seg = "vp_probes" || seg = "bk_probes")
+    (String.split_on_char '/' op)
+
 let print_table snapshots series =
   Printf.printf "%-40s" "op";
   List.iter (fun s -> Printf.printf " %12s" (Printf.sprintf "PR%d" s.s_pr))
@@ -120,10 +128,13 @@ let print_table snapshots series =
   List.iter
     (fun ((op, n, d), points) ->
       Printf.printf "%-40s" (Printf.sprintf "%s(n=%d,d=%d)" op n d);
+      let show v =
+        if is_probe_op op then Printf.sprintf "%.0f probes" v else pretty v
+      in
       List.iter
         (fun s ->
           match List.find_opt (fun p -> p.pr = s.s_pr) points with
-          | Some p -> Printf.printf " %12s" (pretty p.ns_per_op)
+          | Some p -> Printf.printf " %12s" (show p.ns_per_op)
           | None -> Printf.printf " %12s" "-")
         snapshots;
       let f = improvement points in
